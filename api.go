@@ -1,0 +1,57 @@
+package mlcache
+
+import (
+	"io"
+
+	"mlcache/internal/config"
+	"mlcache/internal/cpu"
+	"mlcache/internal/memsys"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+// The facade re-exports the types a downstream user needs to build and run
+// hierarchies without reaching into internal packages.
+
+// Config describes a complete memory hierarchy (see memsys.Config).
+type Config = memsys.Config
+
+// LevelConfig describes one cache level plus its timing.
+type LevelConfig = memsys.LevelConfig
+
+// Result reports a completed simulation run.
+type Result = cpu.Result
+
+// Ref is a single memory reference.
+type Ref = trace.Ref
+
+// Stream is a source of references.
+type Stream = trace.Stream
+
+// Trace is an in-memory reference sequence.
+type Trace = trace.Trace
+
+// Reference kinds.
+const (
+	IFetch = trace.IFetch
+	Load   = trace.Load
+	Store  = trace.Store
+)
+
+// ParseConfig reads a hierarchy description file (see internal/config for
+// the format; configs/base.cfg is the paper's base machine).
+func ParseConfig(r io.Reader) (Config, error) { return config.Parse(r) }
+
+// Simulate runs a trace against a hierarchy. The first warmup references
+// update cache state without being counted (cold-start handling).
+func Simulate(cfg Config, s Stream, warmup int64) (Result, error) {
+	h, err := memsys.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return cpu.Run(h, s, cpu.Config{CycleNS: cfg.CPUCycleNS, WarmupRefs: warmup})
+}
+
+// SyntheticWorkload returns n references of the calibrated multiprogramming
+// workload (see internal/synth); equal seeds yield equal traces.
+func SyntheticWorkload(seed, n int64) Stream { return synth.PaperStream(seed, n) }

@@ -1,0 +1,73 @@
+package mlcache
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseCfg = `
+cpu {
+    cycle_ns = 10
+}
+cache L1I {
+    role = instruction
+    size = 2KB
+    block = 16
+    cycle_ns = 10
+}
+cache L1D {
+    role = data
+    size = 2KB
+    block = 16
+    cycle_ns = 10
+}
+cache L2 {
+    level = 2
+    size = 512KB
+    block = 32
+    cycle_ns = 30
+}
+`
+
+func TestSimulateFacade(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(baseCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg, SyntheticWorkload(1, 100_000), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.CPI < 1 {
+		t.Errorf("implausible result: %v", res)
+	}
+	if res.Mem.L1GlobalReadMissRatio() <= 0 {
+		t.Error("no misses recorded")
+	}
+}
+
+func TestSimulateInvalidConfig(t *testing.T) {
+	var cfg Config
+	if _, err := Simulate(cfg, Trace{}.Stream(), 0); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestFacadeTraceTypes(t *testing.T) {
+	tr := Trace{
+		{Kind: IFetch, Addr: 0x1000},
+		{Kind: Load, Addr: 0x2000},
+		{Kind: Store, Addr: 0x3000},
+	}
+	cfg, err := ParseConfig(strings.NewReader(baseCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg, tr.Stream(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 1 || res.Loads != 1 || res.Stores != 1 {
+		t.Errorf("counts = %d/%d/%d", res.Instructions, res.Loads, res.Stores)
+	}
+}

@@ -1,0 +1,143 @@
+// Command mlcsim simulates a reference trace against a cache-hierarchy
+// description file and reports execution time and per-level statistics —
+// the direct equivalent of the paper's simulation system ("reads a file
+// that specifies the depth of the cache hierarchy and the configuration of
+// each cache").
+//
+// Usage:
+//
+//	mlcsim -config machine.cfg -trace refs.trc
+//	mlcsim -config machine.cfg -synth -n 2000000
+//
+// Trace files use the text codec by default, the binary codec for files
+// ending in .bin or .mlct.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mlcache/internal/config"
+	"mlcache/internal/cpu"
+	"mlcache/internal/memsys"
+	"mlcache/internal/report"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlcsim: ")
+	var (
+		cfgPath   = flag.String("config", "", "hierarchy description file (required)")
+		tracePath = flag.String("trace", "", "trace file to simulate")
+		useSynth  = flag.Bool("synth", false, "simulate the synthetic multiprogramming workload")
+		n         = flag.Int64("n", 2_000_000, "references to simulate (with -synth, or as a cap on -trace)")
+		seed      = flag.Int64("seed", 1, "synthetic workload seed")
+		warmup    = flag.Int64("warmup", -1, "warm-up references excluded from statistics (-1 = 20%)")
+	)
+	flag.Parse()
+
+	if *cfgPath == "" {
+		log.Fatal("missing -config")
+	}
+	if (*tracePath == "") == !*useSynth {
+		log.Fatal("pass exactly one of -trace or -synth")
+	}
+
+	f, err := os.Open(*cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := memsys.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var s trace.Stream
+	if *useSynth {
+		s = synth.PaperStream(*seed, *n)
+	} else {
+		tf, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		if strings.HasSuffix(*tracePath, ".bin") || strings.HasSuffix(*tracePath, ".mlct") {
+			s = trace.NewBinaryReader(tf)
+		} else {
+			s = trace.NewTextReader(tf)
+		}
+		if *n > 0 {
+			s = trace.Limit(s, *n)
+		}
+	}
+
+	w := *warmup
+	if w < 0 {
+		w = *n / 5
+	}
+	res, err := cpu.Run(h, s, cpu.Config{CycleNS: cfg.CPUCycleNS, WarmupRefs: w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printResult(res, cfg)
+}
+
+func printResult(res cpu.Result, cfg memsys.Config) {
+	fmt.Printf("instructions: %d   loads: %d   stores: %d\n", res.Instructions, res.Loads, res.Stores)
+	fmt.Printf("execution:    %d cycles (%.3f ms at %dns/cycle)\n",
+		res.Cycles, float64(res.TimeNS)/1e6, cfg.CPUCycleNS)
+	fmt.Printf("CPI: %.3f   relative execution time: %.3f\n\n", res.CPI, res.RelTime)
+
+	t := report.NewTable("level", "read refs", "read miss", "local", "global", "write refs", "writebacks")
+	addLevel := func(ls *memsys.LevelStats) {
+		if ls == nil {
+			return
+		}
+		t.AddRow(
+			ls.Name,
+			fmt.Sprintf("%d", ls.Cache.ReadRefs),
+			fmt.Sprintf("%d", ls.Cache.ReadMisses),
+			report.Ratio(ls.LocalReadMissRatio()),
+			report.Ratio(ls.GlobalReadMissRatio(res.CPUReads)),
+			fmt.Sprintf("%d", ls.Cache.WriteRefs),
+			fmt.Sprintf("%d", ls.Cache.Writebacks),
+		)
+	}
+	addLevel(res.Mem.L1I)
+	addLevel(res.Mem.L1D)
+	addLevel(res.Mem.L1)
+	for i := range res.Mem.Down {
+		addLevel(&res.Mem.Down[i])
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmain memory: %d reads, %d writes, %.1f us queueing\n",
+		res.Mem.MemReads, res.Mem.MemWrites, float64(res.Mem.MemStallNS)/1e3)
+	if res.Mem.TLB != nil {
+		fmt.Printf("TLB: %d refs, %d misses (%.4f), %.1f us walking\n",
+			res.Mem.TLB.Refs, res.Mem.TLB.Misses, res.Mem.TLB.MissRatio(),
+			float64(res.Mem.TLB.WalkNS)/1e3)
+	}
+
+	fmt.Printf("\nstall distribution (fraction of issue slots stalled at most N cycles):\n")
+	for _, b := range []int{0, 2, 4, 6, 8} {
+		bound := 1 << b
+		label := fmt.Sprintf("<%d", bound)
+		if b == 0 {
+			label = "0"
+		}
+		fmt.Printf("  %-5s %6.2f%%\n", label, 100*res.StallAtMost(b))
+	}
+}

@@ -1,0 +1,92 @@
+// Command paper regenerates the tables and figures of Przybylski,
+// Horowitz & Hennessy, "Characteristics of Performance-Optimal Multi-Level
+// Cache Hierarchies" (ISCA 1989) on the synthetic workload.
+//
+// Usage:
+//
+//	paper -list
+//	paper -fig 3-1            # one figure
+//	paper -all                # everything, in paper order
+//	paper -all -quick         # reduced trace length (fast, noisier)
+//	paper -refs 5000000       # custom trace length
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mlcache/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paper: ")
+	var (
+		fig   = flag.String("fig", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+		quick = flag.Bool("quick", false, "use the reduced trace length")
+		refs  = flag.Int64("refs", 0, "override trace length in references")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		par   = flag.Int("par", 0, "max parallel simulations (0 = GOMAXPROCS)")
+		out   = flag.String("o", "", "also write the output to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *refs > 0 {
+		opt.Refs = *refs
+		opt.Warmup = *refs / 5
+	}
+	opt.Seed = *seed
+	opt.Parallelism = *par
+	ctx := experiments.NewContext(opt)
+
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		toRun = experiments.All()
+	case *fig != "":
+		e, ok := experiments.ByID(*fig)
+		if !ok {
+			log.Fatalf("unknown experiment %q; known: %s", *fig, strings.Join(experiments.IDs(), ", "))
+		}
+		toRun = []experiments.Experiment{e}
+	default:
+		log.Fatal("nothing to do: pass -fig <id>, -all, or -list")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		fmt.Fprintf(w, "==== %s: %s ====\n", e.ID, e.Title)
+		if err := e.Run(ctx, w); err != nil {
+			log.Fatalf("experiment %s: %v", e.ID, err)
+		}
+		fmt.Fprintf(w, "---- (%s, %d refs) ----\n\n", time.Since(start).Round(time.Millisecond), opt.Refs)
+	}
+}

@@ -1,0 +1,119 @@
+// Command sweep runs a grid of simulations over the L2 design space of the
+// base machine — size × cycle time × associativity — and emits a table or
+// CSV of relative execution times and miss ratios, for exploring design
+// points beyond the paper's figures.
+//
+// Usage:
+//
+//	sweep -sizes 16-4096 -cycles 1-10 -assoc 1 -n 1000000
+//	sweep -sizes 64-1024 -cycles 2-6 -assoc 2 -l1 32 -csv > out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"mlcache/internal/experiments"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/report"
+	"mlcache/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		sizesArg  = flag.String("sizes", "16-4096", "L2 size range in KB (lo-hi, powers of two)")
+		cyclesArg = flag.String("cycles", "1-10", "L2 cycle time range in CPU cycles (lo-hi)")
+		assoc     = flag.Int("assoc", 1, "L2 associativity (0 = fully associative)")
+		l1        = flag.Int("l1", 4, "total L1 size in KB (split I+D)")
+		slow      = flag.Bool("slowmem", false, "use the 2x slower main memory")
+		n         = flag.Int64("n", 1_000_000, "trace length in references")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	loS, hiS, err := parseRange(*sizesArg)
+	if err != nil {
+		log.Fatalf("bad -sizes: %v", err)
+	}
+	loC, hiC, err := parseRange(*cyclesArg)
+	if err != nil {
+		log.Fatalf("bad -cycles: %v", err)
+	}
+
+	mem := mainmem.Base()
+	if *slow {
+		mem = mainmem.Slow()
+	}
+	opt := experiments.Options{Seed: *seed, Refs: *n, Warmup: *n / 5}
+	grid := sweep.Grid{
+		SizesBytes: sweep.SizesPow2(loS, hiS),
+		CyclesNS:   sweep.CyclesRange(int(loC), int(hiC), experiments.CPUCycleNS),
+	}
+	runner := sweep.Runner{
+		Configure: func(pt sweep.Point) memsys.Config {
+			return experiments.BaseMachine(*l1,
+				experiments.L2Config(pt.L2SizeBytes, pt.L2CycleNS, pt.L2Assoc), mem)
+		},
+		Trace: opt.Stream,
+		CPU:   opt.CPU(),
+	}
+	var pts []sweep.Point
+	for _, s := range grid.SizesBytes {
+		for _, c := range grid.CyclesNS {
+			pts = append(pts, sweep.Point{L2SizeBytes: s, L2CycleNS: c, L2Assoc: *assoc})
+		}
+	}
+	results, err := runner.RunPoints(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("L2KB", "cycles", "assoc", "reltime", "CPI", "L2local", "L2global")
+	for _, r := range results {
+		l2 := r.Run.Mem.Down[0]
+		t.AddRow(
+			report.SizeLabel(r.Point.L2SizeBytes),
+			strconv.FormatInt(r.Point.L2CycleNS/experiments.CPUCycleNS, 10),
+			strconv.Itoa(r.Point.L2Assoc),
+			fmt.Sprintf("%.4f", r.Run.RelTime),
+			fmt.Sprintf("%.4f", r.Run.CPI),
+			report.Ratio(l2.LocalReadMissRatio()),
+			report.Ratio(l2.GlobalReadMissRatio(r.Run.CPUReads)),
+		)
+	}
+	if *csv {
+		err = t.CSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseRange(s string) (lo, hi int64, err error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want lo-hi, got %q", s)
+	}
+	lo, err = strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lo <= 0 || hi < lo {
+		return 0, 0, fmt.Errorf("range %q out of order", s)
+	}
+	return lo, hi, nil
+}

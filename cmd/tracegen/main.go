@@ -1,0 +1,121 @@
+// Command tracegen writes reference traces to a file, either from the
+// synthetic multiprogramming model or from one of the deterministic
+// program-like kernels. Output uses the text codec, or the compact binary
+// codec for paths ending in .bin or .mlct.
+//
+// Usage:
+//
+//	tracegen -kind mix -n 1000000 -o mix.mlct
+//	tracegen -kind matmul -param 64 -o mm.trc
+//	tracegen -kind chase -param 4096 -n 100000 -o chase.trc
+//	tracegen -kind stream -param 8192 -o stream.trc
+//	tracegen -kind qsort -param 10000 -o qs.trc
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+	"mlcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		kind  = flag.String("kind", "mix", "workload: mix | matmul | chase | stream | qsort")
+		n     = flag.Int64("n", 1_000_000, "references to emit (mix and chase; others are sized by -param)")
+		param = flag.Int("param", 64, "kernel size parameter (matrix N, nodes, elements, keys)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "", "output path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("missing -o")
+	}
+
+	s, err := buildStream(*kind, *n, *param, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+
+	var write func(trace.Ref) error
+	var flush func() error
+	if strings.HasSuffix(*out, ".bin") || strings.HasSuffix(*out, ".mlct") {
+		w := trace.NewBinaryWriter(bw)
+		write, flush = w.Write, w.Flush
+	} else {
+		w := trace.NewTextWriter(bw)
+		write, flush = w.Write, w.Flush
+	}
+
+	var count int64
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(r); err != nil {
+			log.Fatal(err)
+		}
+		count++
+	}
+	if err := flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d references to %s\n", count, *out)
+}
+
+func buildStream(kind string, n int64, param int, seed int64) (trace.Stream, error) {
+	switch kind {
+	case "mix":
+		return synth.PaperStream(seed, n), nil
+	case "matmul":
+		tr, err := workload.MatMul(workload.MatMulConfig{N: param, Base: 1 << 24})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Stream(), nil
+	case "chase":
+		tr, err := workload.PointerChase(workload.PointerChaseConfig{
+			Nodes: param, Steps: int(n), Seed: seed, Base: 1 << 24,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Stream(), nil
+	case "stream":
+		tr, err := workload.Stream(workload.StreamConfig{Elems: param, Iters: 3, Base: 1 << 24})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Stream(), nil
+	case "qsort":
+		tr, err := workload.Quicksort(workload.QuicksortConfig{N: param, Seed: seed, Base: 1 << 24})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Stream(), nil
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}

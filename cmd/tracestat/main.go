@@ -1,0 +1,235 @@
+// Command tracestat measures the locality statistics of a reference trace:
+// the reference mix, and solo read miss ratios across a range of cache
+// sizes, with the per-doubling miss reduction factor (the paper reports
+// ≈0.69 for its traces). It reads a trace file (text or binary codec) or
+// generates the default synthetic workload.
+//
+// Usage:
+//
+//	tracestat [-n refs] [-seed s] [-trace file] [-assoc a] [-block b]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/classify"
+	"mlcache/internal/stackdist"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+	var (
+		n         = flag.Int64("n", 2_000_000, "references to analyze")
+		seed      = flag.Int64("seed", 1, "seed for the synthetic workload")
+		traceFile = flag.String("trace", "", "trace file to read (default: synthetic workload)")
+		assoc     = flag.Int("assoc", 1, "associativity of the probe caches")
+		block     = flag.Int("block", 32, "block size of the probe caches")
+		minKB     = flag.Int64("min", 4, "smallest probe cache in KB")
+		maxKB     = flag.Int64("max", 4096, "largest probe cache in KB")
+		procs     = flag.Int("procs", 0, "override: number of synthetic processes")
+		irun      = flag.Float64("irun", 0, "override: mean instruction run words")
+		drun      = flag.Float64("drun", 0, "override: mean data run words")
+		dataProb  = flag.Float64("dataprob", -1, "override: data reference probability")
+		alpha     = flag.Float64("alpha", 0, "override: Pareto tail exponent")
+		doClass   = flag.Bool("classify", false, "decompose probe-cache misses into compulsory/capacity/conflict")
+		doProfile = flag.Bool("profile", false, "one-pass LRU stack-distance profile instead of probe caches")
+	)
+	flag.Parse()
+
+	var s trace.Stream
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		s = openTrace(f, *traceFile)
+	} else {
+		mix := synth.PaperMix(*seed)
+		if *procs > 0 {
+			mix.Processes = mix.Processes[:*procs]
+		}
+		for i := range mix.Processes {
+			p := &mix.Processes[i]
+			if *irun > 0 {
+				p.MeanIRunWords = *irun
+			}
+			if *drun > 0 {
+				p.MeanDRunWords = *drun
+			}
+			if *dataProb >= 0 {
+				p.DataRefProb = *dataProb
+			}
+			if *alpha > 0 {
+				p.Code.Alpha, p.Data.Alpha = *alpha, *alpha
+			}
+		}
+		s = trace.Limit(synth.MustNewMix(mix), *n)
+	}
+	s = trace.Limit(s, *n)
+
+	switch {
+	case *doProfile:
+		runProfile(s, *block, *minKB, *maxKB)
+	case *doClass:
+		runClassify(s, *block, *assoc, *minKB, *maxKB)
+	default:
+		runProbes(s, *n, *block, *assoc, *minKB, *maxKB)
+	}
+}
+
+// runProbes simulates one probe cache per size and prints the miss curve.
+func runProbes(s trace.Stream, n int64, block, assoc int, minKB, maxKB int64) {
+	var probes []*cache.Cache
+	for kb := minKB; kb <= maxKB; kb *= 2 {
+		probes = append(probes, cache.MustNew(cache.Config{
+			Name:       fmt.Sprintf("%dKB", kb),
+			SizeBytes:  kb * 1024,
+			BlockBytes: block,
+			Assoc:      assoc,
+			Repl:       cache.LRU,
+			Write:      cache.WriteBack,
+			Alloc:      cache.WriteAllocate,
+		}))
+	}
+
+	var counts trace.Counts
+	var refs int64
+	warm := n / 5
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		refs++
+		if refs == warm {
+			for _, p := range probes {
+				p.ResetStats()
+			}
+		}
+		counts.Add(r.Kind)
+		for _, p := range probes {
+			p.Access(r.Addr, r.Kind == trace.Store)
+		}
+	}
+
+	printMix(counts)
+	fmt.Printf("measured after %d-reference warm-up\n\n", warm)
+	fmt.Printf("%-10s %12s %12s %10s\n", "cache", "read refs", "read misses", "miss ratio")
+	var prev float64
+	var factors []float64
+	for _, p := range probes {
+		st := p.Stats()
+		m := st.LocalReadMissRatio()
+		note := ""
+		if prev > 0 && m > 0 {
+			f := m / prev
+			factors = append(factors, f)
+			note = fmt.Sprintf("  x%.3f", f)
+		}
+		fmt.Printf("%-10s %12d %12d %10.5f%s\n", p.Config().Name, st.ReadRefs, st.ReadMisses, m, note)
+		prev = m
+	}
+	if len(factors) > 0 {
+		prod := 1.0
+		for _, f := range factors {
+			prod *= f
+		}
+		fmt.Printf("\ngeometric-mean miss reduction per doubling: %.3f (paper: ~0.69)\n",
+			math.Pow(prod, 1/float64(len(factors))))
+	}
+}
+
+// runProfile computes the whole miss curve in one pass over the trace
+// (Mattson's technique), instead of one probe cache per size.
+func runProfile(s trace.Stream, block int, minKB, maxKB int64) {
+	prof := stackdist.MustNew(block)
+	var counts trace.Counts
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts.Add(r.Kind)
+		if r.Kind.IsRead() {
+			prof.Access(r.Addr)
+		}
+	}
+	printMix(counts)
+	fmt.Printf("one-pass LRU profile of the read stream (%d distinct %dB blocks, %d compulsory)\n\n",
+		prof.DistinctBlocks(), block, prof.Cold())
+	fmt.Printf("%-10s %12s %10s\n", "capacity", "misses", "miss ratio")
+	sizes, ratios := prof.Curve(block, minKB*1024, maxKB*1024)
+	for i, sz := range sizes {
+		fmt.Printf("%-10s %12d %10.5f\n", fmt.Sprintf("%dKB", sz/1024),
+			prof.MissesAtCapacity(sz/int64(block)), ratios[i])
+	}
+}
+
+// runClassify decomposes each probe cache's misses into the three Cs.
+func runClassify(s trace.Stream, block, assoc int, minKB, maxKB int64) {
+	var cls []*classify.Classifier
+	for kb := minKB; kb <= maxKB; kb *= 2 {
+		cls = append(cls, classify.MustNew(cache.Config{
+			Name:       fmt.Sprintf("%dKB", kb),
+			SizeBytes:  kb * 1024,
+			BlockBytes: block,
+			Assoc:      assoc,
+			Repl:       cache.LRU,
+			Write:      cache.WriteBack,
+			Alloc:      cache.WriteAllocate,
+		}))
+	}
+	var counts trace.Counts
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts.Add(r.Kind)
+		for _, c := range cls {
+			c.Access(r.Addr, r.Kind == trace.Store)
+		}
+	}
+	printMix(counts)
+	fmt.Printf("%-10s %10s %12s %12s %12s\n", "cache", "miss", "compulsory", "capacity", "conflict")
+	for _, c := range cls {
+		b := c.Breakdown()
+		fmt.Printf("%-10s %10.5f %12d %12d %12d\n",
+			c.Target().Config().Name, b.MissRatio(), b.Compulsory, b.Capacity, b.Conflict)
+	}
+}
+
+func printMix(counts trace.Counts) {
+	fmt.Printf("references: %d (ifetch %.1f%%, load %.1f%%, store %.1f%%)\n",
+		counts.Total(),
+		100*float64(counts.IFetch)/float64(counts.Total()),
+		100*float64(counts.Load)/float64(counts.Total()),
+		100*float64(counts.Store)/float64(counts.Total()))
+}
+
+func openTrace(f *os.File, name string) trace.Stream {
+	if strings.HasSuffix(name, ".bin") || strings.HasSuffix(name, ".mlct") {
+		return trace.NewBinaryReader(f)
+	}
+	return trace.NewTextReader(f)
+}

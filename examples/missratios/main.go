@@ -1,0 +1,47 @@
+// Missratios: a miniature of Figure 3-1 — how an L2's local, global, and
+// solo miss ratios relate as its size grows. Demonstrates the paper's
+// independence-of-layers result: once the L2 is much larger than the L1,
+// its global miss ratio matches what it would score with no L1 at all.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mlcache/internal/experiments"
+	"mlcache/internal/report"
+	"mlcache/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	opt := experiments.Options{Seed: 1, Refs: 400_000, Warmup: 80_000}
+	sizes := sweep.SizesPow2(16, 1024) // 16 KB .. 1 MB
+	res, err := experiments.MissRatios(4 /* KB of L1 */, sizes, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("4 KB split L1 (global read miss ratio %.4f) over a growing L2:\n\n", res.L1GlobalMiss)
+	t := report.NewTable("L2 KB", "local", "global", "solo", "global/solo")
+	for _, row := range res.Rows {
+		t.AddRow(
+			report.SizeLabel(row.L2SizeBytes),
+			report.Ratio(row.Local),
+			report.Ratio(row.Global),
+			report.Ratio(row.Solo),
+			fmt.Sprintf("%.2f", row.Global/row.Solo),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsolo miss ratio falls by ×%.2f per doubling (paper: ~0.69)\n", res.SoloDoublingFactor)
+	fmt.Println("\nreading the table:")
+	fmt.Println(" * local is large — the L1 already absorbed the easy hits;")
+	fmt.Println(" * global ≈ solo for L2 ≫ L1 — you can design each level almost independently;")
+	fmt.Println(" * that local/global gap is why a slow-but-large L2 wins (§4).")
+}

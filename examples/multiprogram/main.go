@@ -1,0 +1,95 @@
+// Multiprogram: run four very different programs — matrix multiply,
+// pointer chasing, streaming, and quicksort — through the base machine,
+// alone and time-sliced together, and compare CPI. Shows how the simulator
+// handles real program structure and how multiprogramming disturbs the
+// hierarchy (the reason the paper used multiprogramming traces).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mlcache/internal/cpu"
+	"mlcache/internal/experiments"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/report"
+	"mlcache/internal/trace"
+	"mlcache/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	kernels := []struct {
+		name  string
+		trace trace.Trace
+	}{
+		{"matmul 48x48", must(workload.MatMul(workload.MatMulConfig{N: 48, PID: 1, Base: 1 << 24}))},
+		{"pointer chase", must(workload.PointerChase(workload.PointerChaseConfig{
+			Nodes: 8192, Steps: 120_000, Seed: 7, PID: 2, Base: 2 << 24, Stride: 64,
+		}))},
+		{"stream triad", must(workload.Stream(workload.StreamConfig{Elems: 16384, Iters: 4, PID: 3, Base: 3 << 24}))},
+		{"quicksort 32k", must(workload.Quicksort(workload.QuicksortConfig{N: 32768, Seed: 7, PID: 4, Base: 4 << 24}))},
+	}
+
+	t := report.NewTable("workload", "refs", "CPI", "L1 miss", "L2 local miss")
+	var streams []trace.Stream
+	for _, k := range kernels {
+		res := run(k.trace.Stream())
+		t.AddRow(k.name,
+			fmt.Sprintf("%d", res.CPUReads+res.Stores),
+			fmt.Sprintf("%.2f", res.CPI),
+			report.Ratio(res.Mem.L1GlobalReadMissRatio()),
+			report.Ratio(res.Mem.Down[0].LocalReadMissRatio()),
+		)
+		streams = append(streams, k.trace.Stream())
+	}
+
+	// All four time-sliced on one machine, 20k-reference quanta: each
+	// context switch refills the caches from the other programs' debris.
+	mixed := run(trace.RoundRobin(20_000, streams...))
+	t.AddRow("4-way multiprogrammed",
+		fmt.Sprintf("%d", mixed.CPUReads+mixed.Stores),
+		fmt.Sprintf("%.2f", mixed.CPI),
+		report.Ratio(mixed.Mem.L1GlobalReadMissRatio()),
+		report.Ratio(mixed.Mem.Down[0].LocalReadMissRatio()),
+	)
+
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-process CPI inside the mix (vs running alone):")
+	for i, k := range kernels {
+		pid := uint16(i + 1)
+		ps := mixed.PerPID[pid]
+		fmt.Printf("  %-15s %5.2f\n", k.name, ps.CPI(experiments.CPUCycleNS))
+	}
+
+	fmt.Println("\nthe mix runs with the locality of none of its parts: context")
+	fmt.Println("switches keep evicting each program's working set — which is why")
+	fmt.Println("the paper's multiprogramming traces plateau at a nonzero miss")
+	fmt.Println("ratio even for multi-megabyte caches.")
+}
+
+func run(s trace.Stream) cpu.Result {
+	h, err := memsys.New(experiments.BaseMachine(
+		4, experiments.L2Config(256*1024, 3*experiments.CPUCycleNS, 1), mainmem.Base()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cpu.Run(h, s, cpu.Config{CycleNS: experiments.CPUCycleNS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func must(tr trace.Trace, err error) trace.Trace {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}

@@ -1,0 +1,74 @@
+// Threec: decompose cache misses into compulsory, capacity, and conflict
+// (Hill's three Cs) across cache sizes and associativities — the mechanism
+// behind the paper's §5 break-even analysis: set associativity pays by
+// removing exactly the conflict component, so its value tracks the
+// conflict share, which this example makes visible.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/classify"
+	"mlcache/internal/report"
+	"mlcache/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sizesKB := []int64{8, 32, 128, 512}
+	assocs := []int{1, 2, 8}
+
+	var cls []*classify.Classifier
+	var labels []string
+	for _, kb := range sizesKB {
+		for _, a := range assocs {
+			cls = append(cls, classify.MustNew(cache.Config{
+				Name: "probe", SizeBytes: kb * 1024, BlockBytes: 32, Assoc: a,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			}))
+			labels = append(labels, fmt.Sprintf("%dKB %d-way", kb, a))
+		}
+	}
+
+	s := synth.PaperStream(1, 400_000)
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cls {
+			c.Access(r.Addr, false)
+		}
+	}
+
+	t := report.NewTable("cache", "miss ratio", "compulsory", "capacity", "conflict", "conflict share")
+	for i, c := range cls {
+		b := c.Breakdown()
+		_, _, confFrac := b.Fraction()
+		t.AddRow(
+			labels[i],
+			report.Ratio(b.MissRatio()),
+			fmt.Sprintf("%d", b.Compulsory),
+			fmt.Sprintf("%d", b.Capacity),
+			fmt.Sprintf("%d", b.Conflict),
+			fmt.Sprintf("%.0f%%", 100*confFrac),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println(" * associativity removes only the conflict column — its worth at any")
+	fmt.Println("   design point is the conflict share times the miss penalty (§5);")
+	fmt.Println(" * capacity misses dominate small caches, compulsory misses large ones;")
+	fmt.Println(" * that is why the paper's break-even times shrink as the L2 grows.")
+}

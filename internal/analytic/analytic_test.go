@@ -1,0 +1,271 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func paperModel() MissModel {
+	// ~0.69 per doubling: alpha = log2(1/0.69) ≈ 0.5353.
+	return MissModel{M0: 0.04, S0: 8 * 1024, Alpha: 0.5353, Floor: 0.002}
+}
+
+func TestMissModelValidate(t *testing.T) {
+	if err := paperModel().Validate(); err != nil {
+		t.Fatalf("paper model rejected: %v", err)
+	}
+	bad := []MissModel{
+		{M0: 0, S0: 1, Alpha: 1},
+		{M0: 2, S0: 1, Alpha: 1},
+		{M0: 0.1, S0: 0, Alpha: 1},
+		{M0: 0.1, S0: 1, Alpha: 0},
+		{M0: 0.1, S0: 1, Alpha: 1, Floor: -0.1},
+		{M0: 0.1, S0: 1, Alpha: 1, Floor: 1.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMissModelRatio(t *testing.T) {
+	m := paperModel()
+	if got := m.Ratio(m.S0); !almost(got, m.M0, 1e-12) {
+		t.Errorf("Ratio(S0) = %v, want %v", got, m.M0)
+	}
+	factor := m.Ratio(2*m.S0) / m.Ratio(m.S0)
+	if !almost(factor, 0.69, 0.001) {
+		t.Errorf("doubling factor = %v, want ≈ 0.69", factor)
+	}
+	if !almost(m.DoublingFactor(), 0.69, 0.001) {
+		t.Errorf("DoublingFactor = %v", m.DoublingFactor())
+	}
+	// Very large caches hit the plateau.
+	if got := m.Ratio(1 << 40); got != m.Floor {
+		t.Errorf("plateau ratio = %v, want %v", got, m.Floor)
+	}
+	// Tiny caches are clamped at 1.
+	if got := m.Ratio(1e-9); got != 1 {
+		t.Errorf("tiny-cache ratio = %v, want 1", got)
+	}
+}
+
+func TestMissModelSlope(t *testing.T) {
+	m := paperModel()
+	s := 64.0 * 1024
+	// Numerical derivative check.
+	h := s * 1e-6
+	want := (m.Ratio(s+h) - m.Ratio(s-h)) / (2 * h)
+	if got := m.Slope(s); !almost(got, want, math.Abs(want)*1e-3) {
+		t.Errorf("Slope(%v) = %v, want %v", s, got, want)
+	}
+	if got := m.Slope(1 << 40); got != 0 {
+		t.Errorf("plateau slope = %v, want 0", got)
+	}
+}
+
+func TestFitMissModel(t *testing.T) {
+	true := MissModel{M0: 0.05, S0: 4096, Alpha: 0.6}
+	var sizes, ratios []float64
+	for s := 4096.0; s <= 1<<20; s *= 2 {
+		sizes = append(sizes, s)
+		ratios = append(ratios, true.Ratio(s))
+	}
+	got, err := FitMissModel(sizes, ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got.Alpha, 0.6, 1e-6) {
+		t.Errorf("fitted alpha = %v, want 0.6", got.Alpha)
+	}
+	if !almost(got.Ratio(65536), true.Ratio(65536), 1e-9) {
+		t.Errorf("fitted model mispredicts: %v vs %v", got.Ratio(65536), true.Ratio(65536))
+	}
+}
+
+func TestFitMissModelErrors(t *testing.T) {
+	cases := []struct {
+		sizes, ratios []float64
+	}{
+		{[]float64{1, 2}, []float64{0.1}},       // length mismatch
+		{[]float64{1}, []float64{0.1}},          // too few
+		{[]float64{1, 2}, []float64{0.1, 0}},    // non-positive ratio
+		{[]float64{0, 2}, []float64{0.1, 0.05}}, // non-positive size
+		{[]float64{4, 4}, []float64{0.1, 0.1}},  // degenerate
+		{[]float64{1, 2}, []float64{0.05, 0.1}}, // increasing (alpha <= 0)
+	}
+	for i, c := range cases {
+		if _, err := FitMissModel(c.sizes, c.ratios); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestExecParamsTotal(t *testing.T) {
+	p := ExecParams{
+		Reads: 1e6, Stores: 3e5,
+		NL1: 1, NL2: 3, NMM: 30, TL1Write: 2,
+		ML1: 0.10, ML2: 0.01,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1e6*(1 + 0.3 + 0.3) + 3e5*2 = 1.6e6 + 0.6e6
+	if got := p.Total(); !almost(got, 2.2e6, 1) {
+		t.Errorf("Total = %v, want 2.2e6", got)
+	}
+}
+
+func TestExecParamsValidate(t *testing.T) {
+	good := ExecParams{Reads: 1, ML1: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ExecParams{
+		{Reads: -1},
+		{NL1: -1},
+		{ML1: 1.5},
+		{ML2: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestBreakEvenPerDoubling: the 1/M_L1 factor is the paper's central
+// analytical point — a 10% L1 multiplies the L2 break-even allowance by 10
+// over the single-level (M_L1 = 1) case.
+func TestBreakEvenPerDoubling(t *testing.T) {
+	m := paperModel()
+	size, nMM := 128.0*1024, 30.0
+	single := BreakEvenPerDoubling(m, size, nMM, 1.0)
+	multi := BreakEvenPerDoubling(m, size, nMM, 0.10)
+	if !almost(multi, 10*single, 1e-9) {
+		t.Errorf("multi/single = %v, want exactly 10", multi/single)
+	}
+	// Doubling memory latency doubles the allowance (skews toward larger
+	// caches, §4).
+	slow := BreakEvenPerDoubling(m, size, 2*nMM, 0.10)
+	if !almost(slow, 2*multi, 1e-9) {
+		t.Errorf("slow-memory allowance = %v, want %v", slow, 2*multi)
+	}
+	// On the plateau the allowance is zero.
+	if got := BreakEvenPerDoubling(m, 1<<40, nMM, 0.10); got != 0 {
+		t.Errorf("plateau allowance = %v, want 0", got)
+	}
+	if got := BreakEvenPerDoubling(m, size, nMM, 0); !math.IsInf(got, 1) {
+		t.Errorf("ml1=0 allowance = %v, want +Inf", got)
+	}
+}
+
+func TestBreakEvenAssociativity(t *testing.T) {
+	// Paper §5: break-even times are multiplied by the inverse of the
+	// upstream cache's global miss ratio.
+	dM, nMM := 0.001, 300.0
+	if got := BreakEvenAssociativity(dM, nMM, 1); !almost(got, 0.3, 1e-12) {
+		t.Errorf("single-level = %v, want 0.3", got)
+	}
+	if got := BreakEvenAssociativity(dM, nMM, 0.1); !almost(got, 3.0, 1e-12) {
+		t.Errorf("multi-level = %v, want 3.0", got)
+	}
+	if got := BreakEvenAssociativity(dM, nMM, 0); !math.IsInf(got, 1) {
+		t.Errorf("ml1=0 = %v, want +Inf", got)
+	}
+}
+
+// TestOptimalSizeGrowsWithL1: the presence of an L1 cache moves the optimal
+// L2 size toward larger caches (§4/§6), and slower memory does the same.
+func TestOptimalSizeGrowsWithL1(t *testing.T) {
+	m := paperModel()
+	const cost = 2.0 // cycle-time ns cost per size doubling
+	nMM := 300.0
+	minS, maxS := 4096.0, float64(16<<20)
+	solo := OptimalSize(m, cost, nMM, 1.0, minS, maxS)
+	multi := OptimalSize(m, cost, nMM, 0.10, minS, maxS)
+	if multi <= solo {
+		t.Errorf("optimal with L1 (%v) not larger than solo (%v)", multi, solo)
+	}
+	slow := OptimalSize(m, cost, 2*nMM, 0.10, minS, maxS)
+	if slow < multi {
+		t.Errorf("optimal with slow memory (%v) smaller than base (%v)", slow, multi)
+	}
+	// A plateau-only model never grows.
+	flat := MissModel{M0: 0.01, S0: minS, Alpha: 1, Floor: 0.01}
+	if got := OptimalSize(flat, 0.0001, nMM, 0.1, minS, maxS); got != minS {
+		t.Errorf("plateau optimal = %v, want %v", got, minS)
+	}
+}
+
+func TestPredictedShiftPerL1Doubling(t *testing.T) {
+	// Paper §4: with miss factor 0.69 and alpha ≈ 0.54, a 16-fold L1
+	// increase doubles the optimal L2 size; 8-fold predicts ×2.04.
+	shift := PredictedShiftPerL1Doubling(0.5353, 0.69)
+	per8x := math.Pow(shift, 3)
+	if !almost(per8x, 2.04, 0.06) {
+		t.Errorf("8x L1 shift = %v, want ≈ 2.04", per8x)
+	}
+	// Per single doubling this is ≈ 2^(1/3), the paper's "third of a
+	// binary order of magnitude" shift. (The same section also says a
+	// "sixteen fold" L1 increase doubles the optimal size, which is
+	// inconsistent with its own 2.04-per-8x figure; we match the latter.)
+	if shift < 1.2 || shift > 1.35 {
+		t.Errorf("per-doubling shift = %v, want ≈ 1.26", shift)
+	}
+}
+
+func TestBreakEvenMultiplierPerL1Doubling(t *testing.T) {
+	if got := BreakEvenMultiplierPerL1Doubling(0.69); !almost(got, 1.45, 0.01) {
+		t.Errorf("multiplier = %v, want ≈ 1.45 (paper §5)", got)
+	}
+}
+
+// Property: Equation 1 is monotone in every miss ratio and time parameter.
+func TestQuickExecParamsMonotone(t *testing.T) {
+	f := func(ml1c, ml2c, dnl2 uint8) bool {
+		base := ExecParams{
+			Reads: 1e6, Stores: 3e5,
+			NL1: 1, NL2: 3, NMM: 30, TL1Write: 2,
+			ML1: float64(ml1c%100) / 100, ML2: float64(ml2c%100) / 100,
+		}
+		worse := base
+		worse.ML1 = math.Min(1, base.ML1+0.01)
+		if worse.Total() < base.Total() {
+			return false
+		}
+		worse = base
+		worse.NL2 = base.NL2 + float64(dnl2%10)
+		return worse.Total() >= base.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fitted models reproduce the generating alpha for arbitrary
+// exact power-law data.
+func TestQuickFitRecoversAlpha(t *testing.T) {
+	f := func(a8, m8 uint8) bool {
+		alpha := 0.2 + float64(a8%100)/100 // 0.2..1.19
+		m0 := 0.01 + float64(m8%50)/100    // 0.01..0.50
+		gen := MissModel{M0: m0, S0: 1024, Alpha: alpha}
+		var sizes, ratios []float64
+		for s := 1024.0; s <= 1<<20; s *= 2 {
+			sizes = append(sizes, s)
+			ratios = append(ratios, gen.Ratio(s))
+		}
+		got, err := FitMissModel(sizes, ratios)
+		if err != nil {
+			return false
+		}
+		return almost(got.Alpha, alpha, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

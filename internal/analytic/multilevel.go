@@ -1,0 +1,131 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultiLevelParams generalizes Equation 1 to a hierarchy of any depth:
+//
+//	N_total = N_read·(n_1 + Σ_i M_i·n_{i+1}) + N_store·t̄_write
+//
+// where M_i is the global read miss ratio of level i and n_{i+1} the time
+// per read of the next level (main memory after the deepest cache). The
+// two-level ExecParams is the L = 2 case. The paper argues (§3) that the
+// M_i are approximately the solo miss ratios of each cache, making this
+// equation separable per level.
+type MultiLevelParams struct {
+	Reads  float64
+	Stores float64
+	// LevelTimes[i] is the time per read of level i (LevelTimes[0] = n_1);
+	// it must have one more entry than GlobalMiss, the last being the
+	// main-memory read time.
+	LevelTimes []float64
+	// GlobalMiss[i] is the global read miss ratio of level i.
+	GlobalMiss []float64
+	WriteTime  float64 // t̄_write per store
+}
+
+// Validate checks shape and ranges.
+func (p MultiLevelParams) Validate() error {
+	if p.Reads < 0 || p.Stores < 0 {
+		return fmt.Errorf("analytic: negative reference counts")
+	}
+	if len(p.LevelTimes) != len(p.GlobalMiss)+1 {
+		return fmt.Errorf("analytic: %d level times for %d miss ratios (want one more)",
+			len(p.LevelTimes), len(p.GlobalMiss))
+	}
+	if len(p.GlobalMiss) == 0 {
+		return fmt.Errorf("analytic: need at least one cache level")
+	}
+	for i, t := range p.LevelTimes {
+		if t < 0 {
+			return fmt.Errorf("analytic: negative level time %d", i)
+		}
+	}
+	for i, m := range p.GlobalMiss {
+		if m < 0 || m > 1 {
+			return fmt.Errorf("analytic: miss ratio %d = %v outside [0,1]", i, m)
+		}
+	}
+	if p.WriteTime < 0 {
+		return fmt.Errorf("analytic: negative write time")
+	}
+	return nil
+}
+
+// Total evaluates the generalized Equation 1.
+func (p MultiLevelParams) Total() float64 {
+	t := p.LevelTimes[0]
+	for i, m := range p.GlobalMiss {
+		t += m * p.LevelTimes[i+1]
+	}
+	return p.Reads*t + p.Stores*p.WriteTime
+}
+
+// MarginalLevelValue returns the derivative of the total time with respect
+// to level i's read time: Reads·M_{i-1} (with M_0 = 1 for the first
+// level). This is the paper's central quantity: the sensitivity of total
+// time to a level's cycle time is proportional to the *previous* level's
+// global miss ratio — the 1/M_L1 factor of Equation 2.
+func (p MultiLevelParams) MarginalLevelValue(level int) float64 {
+	if level <= 0 {
+		return p.Reads
+	}
+	if level > len(p.GlobalMiss) {
+		return 0
+	}
+	return p.Reads * p.GlobalMiss[level-1]
+}
+
+// BalanceCondition returns the break-even cycle-time increase of level i
+// per unit decrease of its own global miss ratio (Equation 2 rearranged
+// for any depth): Δt_i = ΔM_i · n_{i+1} / M_{i-1}. The deeper and the
+// better-filtered the level, the more cycle time a miss-ratio improvement
+// is worth.
+func (p MultiLevelParams) BalanceCondition(level int, dMiss float64) float64 {
+	if level < 1 || level > len(p.GlobalMiss) {
+		return math.NaN()
+	}
+	upstream := 1.0
+	if level >= 2 {
+		upstream = p.GlobalMiss[level-2]
+	}
+	if upstream <= 0 {
+		return math.Inf(1)
+	}
+	return dMiss * p.LevelTimes[level] / upstream
+}
+
+// OptimalDepth evaluates the generalized equation for hierarchies of
+// depth 1..len(levels) built from a list of candidate levels (each with a
+// read time and a global miss ratio, ordered outward from the CPU), and
+// returns the depth with the minimum total time and the totals per depth.
+// It quantifies §6's "multi-level cache hierarchies can … break the
+// single-level performance barrier": added levels pay while their time is
+// amortized by the previous level's miss ratio.
+func OptimalDepth(reads, stores, writeTime, memTime float64, levelTimes, soloMiss []float64) (bestDepth int, totals []float64, err error) {
+	if len(levelTimes) != len(soloMiss) || len(levelTimes) == 0 {
+		return 0, nil, fmt.Errorf("analytic: %d level times for %d miss ratios", len(levelTimes), len(soloMiss))
+	}
+	for depth := 1; depth <= len(levelTimes); depth++ {
+		p := MultiLevelParams{
+			Reads:      reads,
+			Stores:     stores,
+			LevelTimes: append(append([]float64{}, levelTimes[:depth]...), memTime),
+			GlobalMiss: soloMiss[:depth],
+			WriteTime:  writeTime,
+		}
+		if err := p.Validate(); err != nil {
+			return 0, nil, err
+		}
+		totals = append(totals, p.Total())
+	}
+	bestDepth = 1
+	for d := 2; d <= len(totals); d++ {
+		if totals[d-1] < totals[bestDepth-1] {
+			bestDepth = d
+		}
+	}
+	return bestDepth, totals, nil
+}

@@ -1,0 +1,146 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func threeLevel() MultiLevelParams {
+	return MultiLevelParams{
+		Reads:  1e6,
+		Stores: 3e5,
+		// L1 1 cycle, L2 3 cycles, L3 6 cycles, memory 30 cycles.
+		LevelTimes: []float64{1, 3, 6, 30},
+		GlobalMiss: []float64{0.10, 0.02, 0.005},
+		WriteTime:  2,
+	}
+}
+
+func TestMultiLevelValidate(t *testing.T) {
+	if err := threeLevel().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []func(*MultiLevelParams){
+		func(p *MultiLevelParams) { p.Reads = -1 },
+		func(p *MultiLevelParams) { p.LevelTimes = p.LevelTimes[:2] },
+		func(p *MultiLevelParams) { p.GlobalMiss = nil; p.LevelTimes = p.LevelTimes[:1] },
+		func(p *MultiLevelParams) { p.LevelTimes[1] = -1 },
+		func(p *MultiLevelParams) { p.GlobalMiss[0] = 1.5 },
+		func(p *MultiLevelParams) { p.WriteTime = -1 },
+	}
+	for i, mutate := range cases {
+		p := threeLevel()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMultiLevelTotal(t *testing.T) {
+	p := threeLevel()
+	// 1e6*(1 + 0.1*3 + 0.02*6 + 0.005*30) + 3e5*2
+	want := 1e6*(1+0.3+0.12+0.15) + 6e5
+	if got := p.Total(); math.Abs(got-want) > 1 {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+}
+
+// TestMatchesTwoLevelEquation: the L = 2 case reproduces ExecParams.
+func TestMatchesTwoLevelEquation(t *testing.T) {
+	two := ExecParams{
+		Reads: 1e6, Stores: 3e5,
+		NL1: 1, NL2: 3, NMM: 30, TL1Write: 2,
+		ML1: 0.10, ML2: 0.01,
+	}
+	multi := MultiLevelParams{
+		Reads: 1e6, Stores: 3e5,
+		LevelTimes: []float64{1, 3, 30},
+		GlobalMiss: []float64{0.10, 0.01},
+		WriteTime:  2,
+	}
+	if math.Abs(two.Total()-multi.Total()) > 1e-6 {
+		t.Errorf("two-level mismatch: %v vs %v", two.Total(), multi.Total())
+	}
+}
+
+// TestMarginalLevelValue: the sensitivity of total time to level i's cycle
+// time is Reads times the previous level's global miss ratio.
+func TestMarginalLevelValue(t *testing.T) {
+	p := threeLevel()
+	if got := p.MarginalLevelValue(0); got != p.Reads {
+		t.Errorf("level 0 marginal = %v, want Reads", got)
+	}
+	// Check against numerical derivative for level 2 (the L3 time).
+	h := 1e-6
+	up := p
+	up.LevelTimes = append([]float64{}, p.LevelTimes...)
+	up.LevelTimes[2] += h
+	want := (up.Total() - p.Total()) / h
+	if got := p.MarginalLevelValue(2); math.Abs(got-want) > math.Abs(want)*1e-3 {
+		t.Errorf("level 2 marginal = %v, want %v", got, want)
+	}
+	if got := p.MarginalLevelValue(99); got != 0 {
+		t.Errorf("out-of-range marginal = %v", got)
+	}
+}
+
+func TestBalanceCondition(t *testing.T) {
+	p := threeLevel()
+	// Level 1 (the L1): upstream ratio is 1.
+	if got := p.BalanceCondition(1, 0.01); math.Abs(got-0.01*3) > 1e-12 {
+		t.Errorf("L1 balance = %v, want 0.03", got)
+	}
+	// Level 2 (the L2): divided by M_L1 = 0.1 — the 1/M_L1 amplifier.
+	if got := p.BalanceCondition(2, 0.01); math.Abs(got-0.01*6/0.1) > 1e-12 {
+		t.Errorf("L2 balance = %v, want 0.6", got)
+	}
+	if !math.IsNaN(p.BalanceCondition(0, 0.01)) {
+		t.Error("level 0 balance must be NaN")
+	}
+	z := p
+	z.GlobalMiss = []float64{0, 0.02, 0.005}
+	if !math.IsInf(z.BalanceCondition(2, 0.01), 1) {
+		t.Error("zero upstream miss ratio must give +Inf")
+	}
+}
+
+// TestOptimalDepth: with the base machine's numbers, two levels beat one,
+// and a third level with a decent miss ratio beats two when memory is
+// slow.
+func TestOptimalDepth(t *testing.T) {
+	levelTimes := []float64{1, 3, 6}
+	soloMiss := []float64{0.10, 0.01, 0.004}
+
+	best, totals, err := OptimalDepth(1e6, 3e5, 2, 30, levelTimes, soloMiss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(totals) != 3 {
+		t.Fatalf("totals = %v", totals)
+	}
+	if totals[1] >= totals[0] {
+		t.Errorf("two levels (%v) not better than one (%v)", totals[1], totals[0])
+	}
+	if best < 2 {
+		t.Errorf("best depth = %d, want >= 2", best)
+	}
+
+	// Slow memory (60 cycles): the third level's value grows.
+	bestSlow, totalsSlow, err := OptimalDepth(1e6, 3e5, 2, 60, levelTimes, soloMiss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gainBase := totals[1] - totals[2]
+	gainSlow := totalsSlow[1] - totalsSlow[2]
+	if gainSlow <= gainBase {
+		t.Errorf("L3 gain with slow memory (%v) not above base (%v)", gainSlow, gainBase)
+	}
+	if bestSlow < best {
+		t.Errorf("slow-memory best depth %d shallower than base %d", bestSlow, best)
+	}
+
+	if _, _, err := OptimalDepth(1, 0, 0, 1, []float64{1}, nil); err == nil {
+		t.Error("mismatched inputs accepted")
+	}
+}

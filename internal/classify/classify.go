@@ -1,0 +1,129 @@
+// Package classify decomposes cache misses into the classic three Cs —
+// compulsory, capacity, and conflict (Hill's taxonomy, reference [6] of
+// the paper) — by running the target cache alongside a fully-associative
+// LRU shadow of the same capacity:
+//
+//   - a miss on a never-seen block is compulsory,
+//   - a miss that the shadow also suffers is a capacity miss,
+//   - a miss the shadow would have avoided is a conflict miss.
+//
+// The decomposition explains where set associativity helps (it removes
+// conflict misses only), which is the mechanism behind the paper's §5
+// break-even analysis.
+package classify
+
+import (
+	"fmt"
+
+	"mlcache/internal/cache"
+)
+
+// Breakdown tallies classified misses. Reads and writes are combined; the
+// classification concerns block residence, not reference kind.
+type Breakdown struct {
+	Refs       int64
+	Hits       int64
+	Compulsory int64
+	Capacity   int64
+	Conflict   int64
+}
+
+// Misses returns the total misses.
+func (b Breakdown) Misses() int64 { return b.Compulsory + b.Capacity + b.Conflict }
+
+// MissRatio returns misses over references.
+func (b Breakdown) MissRatio() float64 {
+	if b.Refs == 0 {
+		return 0
+	}
+	return float64(b.Misses()) / float64(b.Refs)
+}
+
+// Fraction returns the share of each class among all misses.
+func (b Breakdown) Fraction() (compulsory, capacity, conflict float64) {
+	m := b.Misses()
+	if m == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.Compulsory) / float64(m),
+		float64(b.Capacity) / float64(m),
+		float64(b.Conflict) / float64(m)
+}
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("refs %d, miss %.4f (compulsory %d, capacity %d, conflict %d)",
+		b.Refs, b.MissRatio(), b.Compulsory, b.Capacity, b.Conflict)
+}
+
+// Classifier drives a target cache and its fully-associative shadow.
+type Classifier struct {
+	target *cache.Cache
+	shadow *cache.Cache
+	seen   map[uint64]struct{}
+	b      Breakdown
+}
+
+// New builds a classifier for the target organization. Sub-blocked
+// configurations are rejected: the three-C taxonomy is defined on whole
+// blocks.
+func New(cfg cache.Config) (*Classifier, error) {
+	if cfg.SubBlocks() > 1 {
+		return nil, fmt.Errorf("classify: sub-blocked caches not supported")
+	}
+	target, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	shadowCfg := cfg
+	shadowCfg.Name = cfg.Name + "-shadow"
+	shadowCfg.Assoc = 0 // fully associative
+	shadowCfg.Repl = cache.LRU
+	shadow, err := cache.New(shadowCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		target: target,
+		shadow: shadow,
+		seen:   map[uint64]struct{}{},
+	}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg cache.Config) *Classifier {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access classifies one reference.
+func (c *Classifier) Access(addr uint64, isWrite bool) {
+	c.b.Refs++
+	block := c.target.BlockAddr(addr)
+	tRes := c.target.Access(addr, isWrite)
+	sRes := c.shadow.Access(addr, isWrite)
+	_, seenBefore := c.seen[block]
+	c.seen[block] = struct{}{}
+
+	if tRes.Hit {
+		c.b.Hits++
+		return
+	}
+	switch {
+	case !seenBefore:
+		c.b.Compulsory++
+	case !sRes.Hit:
+		c.b.Capacity++
+	default:
+		c.b.Conflict++
+	}
+}
+
+// Breakdown returns the tallies so far.
+func (c *Classifier) Breakdown() Breakdown { return c.b }
+
+// Target exposes the underlying target cache (for its detailed Stats).
+func (c *Classifier) Target() *cache.Cache { return c.target }

@@ -1,0 +1,183 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlcache/internal/cache"
+)
+
+func dmConfig(sizeBytes int64) cache.Config {
+	return cache.Config{
+		Name: "t", SizeBytes: sizeBytes, BlockBytes: 16, Assoc: 1,
+		Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := dmConfig(256)
+	bad.SizeBytes = 100
+	if _, err := New(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	sub := dmConfig(256)
+	sub.FetchBytes = 8
+	if _, err := New(sub); err == nil {
+		t.Error("sub-blocked config accepted")
+	}
+}
+
+func TestPureCompulsory(t *testing.T) {
+	// A cold sequential sweep that fits in the cache: every miss is
+	// compulsory.
+	c := MustNew(dmConfig(4096))
+	for i := 0; i < 256; i++ {
+		c.Access(uint64(i)*16, false)
+	}
+	b := c.Breakdown()
+	if b.Compulsory != 256 || b.Capacity != 0 || b.Conflict != 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.MissRatio() != 1.0 {
+		t.Errorf("miss ratio = %v", b.MissRatio())
+	}
+}
+
+func TestPureCapacity(t *testing.T) {
+	// Cyclic sweep over 2x the capacity: after warm-up, every miss is a
+	// capacity miss under LRU (fully-associative misses too).
+	c := MustNew(dmConfig(256)) // 16 blocks
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 32; i++ {
+			c.Access(uint64(i)*16, false)
+		}
+	}
+	b := c.Breakdown()
+	if b.Conflict != 0 {
+		t.Errorf("conflicts = %d, want 0 (sequential cyclic sweep)", b.Conflict)
+	}
+	if b.Compulsory != 32 {
+		t.Errorf("compulsory = %d, want 32", b.Compulsory)
+	}
+	if b.Capacity != 32*9 {
+		t.Errorf("capacity = %d, want %d", b.Capacity, 32*9)
+	}
+}
+
+func TestPureConflict(t *testing.T) {
+	// Two blocks aliasing to the same set of a direct-mapped cache that
+	// could easily hold both: all steady-state misses are conflicts.
+	c := MustNew(dmConfig(256)) // 16 sets... 16 blocks, set stride 256
+	for round := 0; round < 10; round++ {
+		c.Access(0, false)
+		c.Access(256, false)
+	}
+	b := c.Breakdown()
+	if b.Compulsory != 2 {
+		t.Errorf("compulsory = %d, want 2", b.Compulsory)
+	}
+	if b.Capacity != 0 {
+		t.Errorf("capacity = %d, want 0", b.Capacity)
+	}
+	if b.Conflict != 18 {
+		t.Errorf("conflict = %d, want 18", b.Conflict)
+	}
+	_, _, confFrac := b.Fraction()
+	if confFrac <= 0.8 {
+		t.Errorf("conflict fraction = %v", confFrac)
+	}
+}
+
+// TestAssociativityRemovesConflicts: the same three aliasing hot blocks
+// (all in one set) stop conflicting once the set has enough ways — the §5
+// mechanism.
+func TestAssociativityRemovesConflicts(t *testing.T) {
+	cfg := dmConfig(256)
+	cfg.Assoc = 4 // 4 sets; 0, 256, 1024 all map to set 0 but fit in 4 ways
+	c := MustNew(cfg)
+	for round := 0; round < 10; round++ {
+		c.Access(0, false)
+		c.Access(256, false)
+		c.Access(1024, false)
+	}
+	b := c.Breakdown()
+	if b.Conflict != 0 {
+		t.Errorf("4-way conflicts = %d, want 0 for 3 aliasing hot blocks", b.Conflict)
+	}
+	if b.Compulsory != 3 || b.Capacity != 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+}
+
+func TestFractionEmptyAndString(t *testing.T) {
+	var b Breakdown
+	cf, cp, cn := b.Fraction()
+	if cf != 0 || cp != 0 || cn != 0 {
+		t.Error("empty fractions not zero")
+	}
+	b = Breakdown{Refs: 10, Compulsory: 1, Capacity: 2, Conflict: 3}
+	if b.Misses() != 6 || b.MissRatio() != 0.6 {
+		t.Errorf("misses/ratio = %d/%v", b.Misses(), b.MissRatio())
+	}
+	if b.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: classes always sum to total misses of the target cache, and a
+// fully-associative target never has conflict misses.
+func TestQuickClassInvariants(t *testing.T) {
+	f := func(seed int64, assocSel uint8) bool {
+		cfg := dmConfig(512)
+		switch assocSel % 3 {
+		case 0:
+			cfg.Assoc = 1
+		case 1:
+			cfg.Assoc = 2
+		default:
+			cfg.Assoc = 0 // fully associative
+		}
+		c := MustNew(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			c.Access(uint64(rng.Intn(4096)), rng.Intn(4) == 0)
+		}
+		b := c.Breakdown()
+		st := c.Target().Stats()
+		if b.Misses() != st.ReadMisses+st.WriteMisses {
+			return false
+		}
+		if b.Hits+b.Misses() != b.Refs {
+			return false
+		}
+		if cfg.Assoc == 0 && b.Conflict != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: raising associativity at fixed size never increases the
+// conflict-miss count on the same reference string.
+func TestQuickAssocReducesConflicts(t *testing.T) {
+	f := func(seed int64) bool {
+		dm := MustNew(dmConfig(512))
+		cfg4 := dmConfig(512)
+		cfg4.Assoc = 4
+		sa := MustNew(cfg4)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 4000; i++ {
+			a := uint64(rng.Intn(2048))
+			dm.Access(a, false)
+			sa.Access(a, false)
+		}
+		return sa.Breakdown().Conflict <= dm.Breakdown().Conflict
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+// Package config parses the simulator's hierarchy description files. The
+// paper's simulation system "reads a file that specifies the depth of the
+// cache hierarchy and the configuration of each cache"; this package
+// implements that file format:
+//
+//	# the base machine
+//	cpu {
+//	    cycle_ns = 10
+//	}
+//	cache L1I {
+//	    level       = 1
+//	    role        = instruction    # instruction | data | unified
+//	    size        = 2KB
+//	    block       = 16
+//	    assoc       = 1              # 0 = fully associative
+//	    cycle_ns    = 10
+//	    write       = back           # back | through
+//	    alloc       = allocate       # allocate | no-allocate
+//	    repl        = lru            # lru | fifo | random
+//	    write_cycles = 2
+//	}
+//	cache L2 {
+//	    level    = 2
+//	    role     = unified
+//	    size     = 512KB
+//	    block    = 32
+//	    assoc    = 1
+//	    cycle_ns = 30
+//	}
+//	memory {
+//	    read_ns     = 180
+//	    write_ns    = 100
+//	    recovery_ns = 120
+//	}
+//	buffers {
+//	    depth = 4
+//	}
+//	bus {
+//	    width = 16
+//	    cycle_ns = 30
+//	}
+//
+// '#' starts a comment; sizes accept optional KB/MB/GB suffixes. Level 1
+// may be split (one instruction + one data cache) or unified; deeper levels
+// must be unified and appear in increasing level order.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+)
+
+// Parse reads a hierarchy description and builds the memsys configuration.
+func Parse(r io.Reader) (memsys.Config, error) {
+	p := &parser{sc: bufio.NewScanner(r)}
+	return p.parse()
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (memsys.Config, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type section struct {
+	kind string // "cpu", "cache", "memory", "buffers", "bus"
+	name string // cache name
+	kv   map[string]string
+	line int
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("config: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() (string, bool) {
+	for p.sc.Scan() {
+		p.line++
+		text := p.sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		return text, true
+	}
+	return "", false
+}
+
+func (p *parser) parse() (memsys.Config, error) {
+	var sections []section
+	for {
+		text, ok := p.next()
+		if !ok {
+			break
+		}
+		sec, err := p.parseSection(text)
+		if err != nil {
+			return memsys.Config{}, err
+		}
+		sections = append(sections, sec)
+	}
+	if err := p.sc.Err(); err != nil {
+		return memsys.Config{}, err
+	}
+	return assemble(sections)
+}
+
+func (p *parser) parseSection(header string) (section, error) {
+	fields := strings.Fields(strings.TrimSuffix(header, "{"))
+	if !strings.HasSuffix(header, "{") || len(fields) == 0 || len(fields) > 2 {
+		return section{}, p.errf(p.line, "expected 'kind [name] {', got %q", header)
+	}
+	sec := section{kind: fields[0], kv: map[string]string{}, line: p.line}
+	if len(fields) == 2 {
+		sec.name = fields[1]
+	}
+	switch sec.kind {
+	case "cpu", "memory", "buffers", "bus", "tlb":
+		if sec.name != "" {
+			return section{}, p.errf(p.line, "section %q takes no name", sec.kind)
+		}
+	case "cache":
+		if sec.name == "" {
+			return section{}, p.errf(p.line, "cache section needs a name")
+		}
+	default:
+		return section{}, p.errf(p.line, "unknown section kind %q", sec.kind)
+	}
+	for {
+		text, ok := p.next()
+		if !ok {
+			return section{}, p.errf(sec.line, "unterminated section %q", sec.kind)
+		}
+		if text == "}" {
+			return sec, nil
+		}
+		eq := strings.IndexByte(text, '=')
+		if eq < 0 {
+			return section{}, p.errf(p.line, "expected 'key = value', got %q", text)
+		}
+		key := strings.TrimSpace(text[:eq])
+		val := strings.TrimSpace(text[eq+1:])
+		if key == "" || val == "" {
+			return section{}, p.errf(p.line, "empty key or value in %q", text)
+		}
+		if _, dup := sec.kv[key]; dup {
+			return section{}, p.errf(p.line, "duplicate key %q", key)
+		}
+		sec.kv[key] = val
+	}
+}
+
+// ParseSize parses a byte count with an optional KB/MB/GB (or K/M/G)
+// suffix.
+func ParseSize(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		text string
+		mult int64
+	}{{"KB", 1024}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"K", 1024}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1}} {
+		if strings.HasSuffix(upper, suf.text) {
+			mult = suf.mult
+			upper = strings.TrimSuffix(upper, suf.text)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+type fieldReader struct {
+	sec section
+	err error
+}
+
+func (f *fieldReader) str(key, def string) string {
+	if v, ok := f.sec.kv[key]; ok {
+		delete(f.sec.kv, key)
+		return v
+	}
+	return def
+}
+
+func (f *fieldReader) size(key string, def int64) int64 {
+	v, ok := f.sec.kv[key]
+	if !ok {
+		return def
+	}
+	delete(f.sec.kv, key)
+	n, err := ParseSize(v)
+	if err != nil && f.err == nil {
+		f.err = fmt.Errorf("config: section at line %d: %s: %v", f.sec.line, key, err)
+	}
+	return n
+}
+
+func (f *fieldReader) num(key string, def int64) int64 {
+	v, ok := f.sec.kv[key]
+	if !ok {
+		return def
+	}
+	delete(f.sec.kv, key)
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil && f.err == nil {
+		f.err = fmt.Errorf("config: section at line %d: bad number %q for %s", f.sec.line, v, key)
+	}
+	return n
+}
+
+func (f *fieldReader) finish() error {
+	if f.err != nil {
+		return f.err
+	}
+	for k := range f.sec.kv {
+		return fmt.Errorf("config: section at line %d: unknown key %q", f.sec.line, k)
+	}
+	return nil
+}
+
+type parsedCache struct {
+	level int
+	role  string
+	lc    memsys.LevelConfig
+	line  int
+}
+
+func assemble(sections []section) (memsys.Config, error) {
+	var cfg memsys.Config
+	cfg.Memory = mainmem.Base()
+	var caches []parsedCache
+	seen := map[string]bool{}
+
+	for _, sec := range sections {
+		if seen[sec.kind] && sec.kind != "cache" {
+			return cfg, fmt.Errorf("config: section at line %d: duplicate %q section", sec.line, sec.kind)
+		}
+		seen[sec.kind] = true
+		f := &fieldReader{sec: sec}
+		switch sec.kind {
+		case "cpu":
+			cfg.CPUCycleNS = f.num("cycle_ns", 10)
+		case "memory":
+			cfg.Memory = mainmem.Config{
+				ReadNS:        f.num("read_ns", mainmem.Base().ReadNS),
+				WriteNS:       f.num("write_ns", mainmem.Base().WriteNS),
+				RecoveryNS:    f.num("recovery_ns", mainmem.Base().RecoveryNS),
+				PageBytes:     f.size("page_bytes", 0),
+				PageHitReadNS: f.num("page_hit_ns", 0),
+			}
+		case "buffers":
+			cfg.WBDepth = int(f.num("depth", 0))
+			switch v := f.str("coalesce", "off"); v {
+			case "off":
+			case "on":
+				cfg.WBCoalesce = true
+			default:
+				return cfg, fmt.Errorf("config: section at line %d: coalesce must be on or off, got %q", sec.line, v)
+			}
+		case "bus":
+			cfg.MemBusWidthBytes = int(f.num("width", 0))
+			cfg.MemBusCycleNS = f.num("cycle_ns", 0)
+		case "tlb":
+			cfg.TLB = memsys.TLBConfig{
+				Entries:    int(f.num("entries", 0)),
+				PageBytes:  int(f.size("page", 0)),
+				Assoc:      int(f.num("assoc", 0)),
+				WalkLevels: int(f.num("walk_levels", 0)),
+			}
+		case "cache":
+			pc, err := parseCache(sec, f)
+			if err != nil {
+				return cfg, err
+			}
+			caches = append(caches, pc)
+			continue
+		}
+		if err := f.finish(); err != nil {
+			return cfg, err
+		}
+	}
+
+	if cfg.CPUCycleNS == 0 {
+		cfg.CPUCycleNS = 10
+	}
+	return placeCaches(cfg, caches)
+}
+
+func parseCache(sec section, f *fieldReader) (parsedCache, error) {
+	pc := parsedCache{
+		level: int(f.num("level", 1)),
+		role:  f.str("role", "unified"),
+		line:  sec.line,
+	}
+	repl, err := cache.ParseReplacement(f.str("repl", "lru"))
+	if err != nil {
+		return pc, fmt.Errorf("config: section at line %d: %v", sec.line, err)
+	}
+	write := cache.WriteBack
+	switch v := f.str("write", "back"); v {
+	case "back":
+	case "through":
+		write = cache.WriteThrough
+	default:
+		return pc, fmt.Errorf("config: section at line %d: unknown write policy %q", sec.line, v)
+	}
+	alloc := cache.WriteAllocate
+	switch v := f.str("alloc", "allocate"); v {
+	case "allocate":
+	case "no-allocate":
+		alloc = cache.NoWriteAllocate
+	default:
+		return pc, fmt.Errorf("config: section at line %d: unknown alloc policy %q", sec.line, v)
+	}
+	prefetch := false
+	switch v := f.str("prefetch", "off"); v {
+	case "off":
+	case "on":
+		prefetch = true
+	default:
+		return pc, fmt.Errorf("config: section at line %d: prefetch must be on or off, got %q", sec.line, v)
+	}
+	pc.lc = memsys.LevelConfig{
+		Cache: cache.Config{
+			Name:       sec.name,
+			SizeBytes:  f.size("size", 0),
+			BlockBytes: int(f.num("block", 0)),
+			Assoc:      int(f.num("assoc", 1)),
+			Repl:       repl,
+			Write:      write,
+			Alloc:      alloc,
+			FetchBytes: int(f.num("fetch", 0)),
+		},
+		CycleNS:     f.num("cycle_ns", 0),
+		WriteCycles: int(f.num("write_cycles", 0)),
+		Prefetch:    prefetch,
+	}
+	switch pc.role {
+	case "instruction", "data", "unified":
+	default:
+		return pc, fmt.Errorf("config: section at line %d: unknown role %q", sec.line, pc.role)
+	}
+	if err := f.finish(); err != nil {
+		return pc, err
+	}
+	return pc, nil
+}
+
+func placeCaches(cfg memsys.Config, caches []parsedCache) (memsys.Config, error) {
+	if len(caches) == 0 {
+		return cfg, fmt.Errorf("config: no cache sections")
+	}
+	byLevel := map[int][]parsedCache{}
+	maxLevel := 0
+	for _, pc := range caches {
+		byLevel[pc.level] = append(byLevel[pc.level], pc)
+		if pc.level > maxLevel {
+			maxLevel = pc.level
+		}
+		if pc.level < 1 {
+			return cfg, fmt.Errorf("config: section at line %d: level %d out of range", pc.line, pc.level)
+		}
+	}
+
+	l1s := byLevel[1]
+	switch len(l1s) {
+	case 0:
+		return cfg, fmt.Errorf("config: no level-1 cache")
+	case 1:
+		if l1s[0].role != "unified" {
+			return cfg, fmt.Errorf("config: single level-1 cache must have role unified, got %q", l1s[0].role)
+		}
+		cfg.L1 = l1s[0].lc
+	case 2:
+		var i, d *parsedCache
+		for k := range l1s {
+			switch l1s[k].role {
+			case "instruction":
+				i = &l1s[k]
+			case "data":
+				d = &l1s[k]
+			}
+		}
+		if i == nil || d == nil {
+			return cfg, fmt.Errorf("config: split level 1 needs one instruction and one data cache")
+		}
+		cfg.SplitL1 = true
+		cfg.L1I, cfg.L1D = i.lc, d.lc
+	default:
+		return cfg, fmt.Errorf("config: %d caches at level 1; at most 2 (split I+D)", len(l1s))
+	}
+
+	for lvl := 2; lvl <= maxLevel; lvl++ {
+		down := byLevel[lvl]
+		if len(down) == 0 {
+			return cfg, fmt.Errorf("config: missing level %d in a %d-level hierarchy", lvl, maxLevel)
+		}
+		if len(down) > 1 {
+			return cfg, fmt.Errorf("config: %d caches at level %d; deeper levels must be unified", len(down), lvl)
+		}
+		if down[0].role != "unified" {
+			return cfg, fmt.Errorf("config: level %d cache must be unified, got %q", lvl, down[0].role)
+		}
+		cfg.Down = append(cfg.Down, down[0].lc)
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("config: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,307 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"mlcache/internal/cache"
+)
+
+const baseMachine = `
+# the paper's base machine
+cpu {
+    cycle_ns = 10
+}
+cache L1I {
+    level    = 1
+    role     = instruction
+    size     = 2KB
+    block    = 16
+    assoc    = 1
+    cycle_ns = 10
+}
+cache L1D {
+    level    = 1
+    role     = data
+    size     = 2KB
+    block    = 16
+    assoc    = 1
+    cycle_ns = 10
+}
+cache L2 {
+    level    = 2
+    role     = unified
+    size     = 512KB
+    block    = 32
+    assoc    = 1
+    cycle_ns = 30
+}
+memory {
+    read_ns     = 180
+    write_ns    = 100
+    recovery_ns = 120
+}
+buffers {
+    depth = 4
+}
+bus {
+    width    = 16
+    cycle_ns = 30
+}
+`
+
+func TestParseBaseMachine(t *testing.T) {
+	cfg, err := ParseString(baseMachine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CPUCycleNS != 10 {
+		t.Errorf("cpu cycle = %d", cfg.CPUCycleNS)
+	}
+	if !cfg.SplitL1 {
+		t.Fatal("split L1 not detected")
+	}
+	if cfg.L1I.Cache.SizeBytes != 2048 || cfg.L1I.Cache.Name != "L1I" {
+		t.Errorf("L1I = %+v", cfg.L1I.Cache)
+	}
+	if cfg.L1D.Cache.BlockBytes != 16 || cfg.L1D.CycleNS != 10 {
+		t.Errorf("L1D = %+v", cfg.L1D)
+	}
+	if len(cfg.Down) != 1 || cfg.Down[0].Cache.SizeBytes != 512*1024 || cfg.Down[0].CycleNS != 30 {
+		t.Errorf("L2 = %+v", cfg.Down)
+	}
+	if cfg.Memory.ReadNS != 180 || cfg.Memory.WriteNS != 100 || cfg.Memory.RecoveryNS != 120 {
+		t.Errorf("memory = %+v", cfg.Memory)
+	}
+	if cfg.WBDepth != 4 || cfg.MemBusWidthBytes != 16 || cfg.MemBusCycleNS != 30 {
+		t.Errorf("buffers/bus = %d/%d/%d", cfg.WBDepth, cfg.MemBusWidthBytes, cfg.MemBusCycleNS)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("assembled config invalid: %v", err)
+	}
+}
+
+func TestParseUnifiedSingleLevel(t *testing.T) {
+	cfg, err := ParseString(`
+cache solo {
+    size     = 64KB
+    block    = 32
+    cycle_ns = 30
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SplitL1 {
+		t.Error("unexpected split")
+	}
+	if cfg.L1.Cache.SizeBytes != 64*1024 {
+		t.Errorf("L1 = %+v", cfg.L1.Cache)
+	}
+	// Defaults: 10ns CPU, base memory.
+	if cfg.CPUCycleNS != 10 || cfg.Memory.ReadNS != 180 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	cfg, err := ParseString(`
+cache L1 {
+    size = 4KB
+    block = 16
+    cycle_ns = 10
+    write = through
+    alloc = no-allocate
+    repl = fifo
+    write_cycles = 3
+    assoc = 0
+    fetch = 8
+    prefetch = on
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.L1.Cache
+	if c.Write != cache.WriteThrough || c.Alloc != cache.NoWriteAllocate || c.Repl != cache.FIFO {
+		t.Errorf("policies = %v/%v/%v", c.Write, c.Alloc, c.Repl)
+	}
+	if cfg.L1.WriteCycles != 3 || c.Assoc != 0 {
+		t.Errorf("write_cycles/assoc = %d/%d", cfg.L1.WriteCycles, c.Assoc)
+	}
+	if c.FetchBytes != 8 || !cfg.L1.Prefetch {
+		t.Errorf("fetch/prefetch = %d/%v", c.FetchBytes, cfg.L1.Prefetch)
+	}
+	if _, err := ParseString(`
+cache L1 {
+    size = 4KB
+    block = 16
+    cycle_ns = 10
+    prefetch = sometimes
+}
+`); err == nil {
+		t.Error("bad prefetch value accepted")
+	}
+}
+
+func TestParseThreeLevels(t *testing.T) {
+	cfg, err := ParseString(`
+cache L1 {
+ size = 4KB
+ block = 16
+ cycle_ns = 10
+}
+cache L2 {
+ level = 2
+ size = 64KB
+ block = 32
+ cycle_ns = 30
+}
+cache L3 {
+ level = 3
+ size = 1MB
+ block = 64
+ cycle_ns = 60
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Down) != 2 || cfg.Down[1].Cache.SizeBytes != 1<<20 {
+		t.Errorf("Down = %+v", cfg.Down)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"512":  512,
+		"2KB":  2048,
+		"2kb":  2048,
+		"4K":   4096,
+		"1MB":  1 << 20,
+		"3M":   3 << 20,
+		"1GB":  1 << 30,
+		"128B": 128,
+		" 8KB": 8192,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "KB", "1.5KB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no sections":       "",
+		"bad header":        "cache {",
+		"unknown kind":      "disk d {\n}\n",
+		"named cpu":         "cpu extra {\n}\n",
+		"unnamed cache":     "cache {\n}\n",
+		"unterminated":      "cpu {\ncycle_ns = 10\n",
+		"no equals":         "cpu {\ncycle_ns 10\n}\n",
+		"empty value":       "cpu {\ncycle_ns =\n}\n",
+		"duplicate key":     "cpu {\ncycle_ns = 10\ncycle_ns = 20\n}\n",
+		"unknown key":       "cpu {\nfrequency = 10\n}\ncache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"duplicate section": "cpu {\n}\ncpu {\n}\n",
+		"bad number":        "cpu {\ncycle_ns = ten\n}\ncache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"bad size":          "cache L1 {\nsize = huge\nblock = 16\ncycle_ns = 10\n}\n",
+		"bad write":         "cache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\nwrite = sideways\n}\n",
+		"bad alloc":         "cache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\nalloc = maybe\n}\n",
+		"bad repl":          "cache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\nrepl = plru\n}\n",
+		"bad role":          "cache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\nrole = victim\n}\n",
+		"no level 1":        "cache L2 {\nlevel = 2\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"level gap":         "cache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\ncache L3 {\nlevel = 3\nsize = 64KB\nblock = 32\ncycle_ns = 30\n}\n",
+		"level zero":        "cache L0 {\nlevel = 0\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"three at L1":       "cache A {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\ncache B {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\ncache C {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"two unified L1":    "cache A {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\ncache B {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"split missing D":   "cache A {\nrole = instruction\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\ncache B {\nrole = instruction\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"single L1 role":    "cache A {\nrole = data\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n",
+		"split deep level":  "cache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\ncache L2 {\nlevel = 2\nrole = data\nsize = 64KB\nblock = 32\ncycle_ns = 30\n}\n",
+		"invalid geometry":  "cache L1 {\nsize = 3KB\nblock = 16\ncycle_ns = 10\n}\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseString(input); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	cfg, err := ParseString(`
+# leading comment
+cache L1 { # trailing comment
+    size = 4KB   # inline
+    block = 16
+    cycle_ns = 10
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.L1.Cache.SizeBytes != 4096 {
+		t.Errorf("size = %d", cfg.L1.Cache.SizeBytes)
+	}
+}
+
+func TestRoundTripThroughMemsys(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(baseMachine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMemoryExtensions(t *testing.T) {
+	cfg, err := ParseString(`
+cache L1 {
+    size = 4KB
+    block = 16
+    cycle_ns = 10
+}
+memory {
+    read_ns = 180
+    write_ns = 100
+    recovery_ns = 120
+    page_bytes = 2KB
+    page_hit_ns = 60
+}
+buffers {
+    depth = 4
+    coalesce = on
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Memory.PageBytes != 2048 || cfg.Memory.PageHitReadNS != 60 {
+		t.Errorf("page mode = %d/%d", cfg.Memory.PageBytes, cfg.Memory.PageHitReadNS)
+	}
+	if !cfg.WBCoalesce {
+		t.Error("coalesce not parsed")
+	}
+	// Round-trip through the writer.
+	var sb strings.Builder
+	if err := Write(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if back.Memory != cfg.Memory || back.WBCoalesce != cfg.WBCoalesce {
+		t.Errorf("round trip changed extensions: %+v", back)
+	}
+
+	if _, err := ParseString("buffers {\ncoalesce = maybe\n}\ncache L1 {\nsize = 4KB\nblock = 16\ncycle_ns = 10\n}\n"); err == nil {
+		t.Error("bad coalesce value accepted")
+	}
+}

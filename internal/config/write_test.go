@@ -1,0 +1,130 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+)
+
+func TestWriteRoundTripBaseMachine(t *testing.T) {
+	orig, err := ParseString(baseMachine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, sb.String())
+	}
+	if back.CPUCycleNS != orig.CPUCycleNS || back.SplitL1 != orig.SplitL1 {
+		t.Errorf("round trip changed cpu/split: %+v vs %+v", back, orig)
+	}
+	if back.L1I.Cache != orig.L1I.Cache || back.L1D.Cache != orig.L1D.Cache {
+		t.Errorf("round trip changed L1: %+v vs %+v", back.L1I, orig.L1I)
+	}
+	if len(back.Down) != 1 || back.Down[0] != orig.Down[0] {
+		t.Errorf("round trip changed L2: %+v vs %+v", back.Down, orig.Down)
+	}
+	if back.Memory != orig.Memory || back.WBDepth != orig.WBDepth {
+		t.Errorf("round trip changed memory/buffers")
+	}
+}
+
+// Property: Write/Parse round-trips arbitrary valid configurations.
+func TestQuickWriteRoundTrip(t *testing.T) {
+	f := func(split bool, sizeSel, blockSel, assocSel, replSel, writeSel, prefetch uint8) bool {
+		mk := func(name string) memsys.LevelConfig {
+			blocks := []int{16, 32, 64}
+			block := blocks[int(blockSel)%3]
+			size := int64(block) * (1 << (2 + sizeSel%6)) // 4..128 blocks
+			assoc := []int{0, 1, 2, 4}[assocSel%4]
+			if assoc != 0 && int64(assoc) > size/int64(block) {
+				assoc = 1
+			}
+			return memsys.LevelConfig{
+				Cache: cache.Config{
+					Name:       name,
+					SizeBytes:  size,
+					BlockBytes: block,
+					Assoc:      assoc,
+					Repl:       cache.Replacement(replSel % 3),
+					Write:      cache.WritePolicy(writeSel % 2),
+					Alloc:      cache.AllocPolicy((writeSel / 2) % 2),
+				},
+				CycleNS:  int64(10 + 10*(sizeSel%3)),
+				Prefetch: prefetch%2 == 1,
+			}
+		}
+		cfg := memsys.Config{
+			CPUCycleNS: 10,
+			Memory:     mainmem.Base(),
+			WBDepth:    4,
+		}
+		if split {
+			cfg.SplitL1 = true
+			cfg.L1I = mk("L1I")
+			cfg.L1D = mk("L1D")
+			// Same geometry for I and D keeps the block-ordering
+			// constraint simple.
+			cfg.L1D.Cache.BlockBytes = cfg.L1I.Cache.BlockBytes
+			cfg.L1D.Cache.SizeBytes = cfg.L1I.Cache.SizeBytes
+			cfg.L1D.Cache.Assoc = cfg.L1I.Cache.Assoc
+		} else {
+			cfg.L1 = mk("L1")
+		}
+		l2 := mk("L2")
+		l2.Cache.BlockBytes = 64 // never smaller than any L1 block
+		l2.Cache.SizeBytes = 64 * 1024
+		cfg.Down = []memsys.LevelConfig{l2}
+		if cfg.Validate() != nil {
+			return true // not a valid config; nothing to round-trip
+		}
+
+		var sb strings.Builder
+		if Write(&sb, cfg) != nil {
+			return false
+		}
+		back, err := ParseString(sb.String())
+		if err != nil {
+			return false
+		}
+		if split {
+			return back.SplitL1 && back.L1I == cfg.L1I && back.L1D == cfg.L1D && back.Down[0] == cfg.Down[0]
+		}
+		return !back.SplitL1 && back.L1 == cfg.L1 && back.Down[0] == cfg.Down[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDefaultNames(t *testing.T) {
+	cfg, err := ParseString(`
+cache foo {
+    size = 4KB
+    block = 16
+    cycle_ns = 10
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.L1.Cache.Name = "" // force the default name path
+	var sb strings.Builder
+	if err := Write(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cache L1 {") {
+		t.Errorf("default name missing:\n%s", sb.String())
+	}
+	if _, err := ParseString(sb.String()); err != nil {
+		t.Errorf("defaulted output does not re-parse: %v", err)
+	}
+}

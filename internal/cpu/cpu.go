@@ -1,0 +1,271 @@
+// Package cpu models the paper's RISC-like processor: it executes one
+// instruction fetch and zero or one data accesses on every clock cycle in
+// which it is not waiting on the memory system. The CPU consumes a
+// reference trace, presents each reference to a memsys.Hierarchy, and
+// accounts execution time in nanoseconds and CPU cycles.
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"mlcache/internal/memsys"
+	"mlcache/internal/trace"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// CycleNS is the CPU cycle time; it must match the hierarchy's.
+	CycleNS int64
+	// WarmupRefs references are simulated before statistics recording
+	// begins, implementing the paper's cold-start handling. The warm-up
+	// prefix is excluded from all counts, including execution time.
+	WarmupRefs int64
+	// FlushOnSwitch flushes the first-level caches whenever the trace's
+	// PID changes, modeling virtually-indexed L1s. The paper's caches are
+	// physical (no flush); this knob quantifies the choice.
+	FlushOnSwitch bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CycleNS <= 0 {
+		return fmt.Errorf("cpu: cycle time %d must be positive", c.CycleNS)
+	}
+	if c.WarmupRefs < 0 {
+		return fmt.Errorf("cpu: warmup %d must be non-negative", c.WarmupRefs)
+	}
+	return nil
+}
+
+// Result reports a completed run. All counters cover the measured (post
+// warm-up) portion of the trace.
+type Result struct {
+	// TimeNS is total execution time; Cycles is the same in CPU cycles.
+	TimeNS int64
+	Cycles int64
+	// IdealNS is the execution time of the same instruction stream on a
+	// perfect memory system (every access a first-level hit): one cycle
+	// per issue slot plus the architectural extra write-hit cycle per
+	// store. RelTime = TimeNS / IdealNS is the paper's relative execution
+	// time; figures 4-1 through 4-4 plot it.
+	IdealNS int64
+	RelTime float64
+	// CPI is cycles per instruction (instructions = ifetches).
+	CPI float64
+
+	Instructions int64
+	Loads        int64
+	Stores       int64
+	// CPUReads = Instructions + Loads: the denominator of all global miss
+	// ratios.
+	CPUReads int64
+	// Switches counts context switches acted upon (FlushOnSwitch only).
+	Switches int64
+
+	// PerPID breaks the run down by issuing process, for multiprogramming
+	// analysis. Time is attributed to the process whose cycle incurred
+	// it, including its miss stalls.
+	PerPID map[uint16]PIDStats
+
+	// StallHist is a log2 histogram of per-issue-slot stall times in CPU
+	// cycles: bucket 0 counts stall-free slots, bucket i ≥ 1 counts
+	// slots stalled in [2^(i-1), 2^i) cycles. It shows the *distribution*
+	// behind the mean CPI — e.g. whether time is lost to many small L2
+	// hits or few huge memory round trips.
+	StallHist [16]int64
+
+	Mem memsys.Stats
+}
+
+// PIDStats is the per-process slice of a Result.
+type PIDStats struct {
+	Instructions int64
+	Loads        int64
+	Stores       int64
+	TimeNS       int64
+}
+
+// CPI returns the process's cycles per instruction given the CPU cycle
+// time.
+func (p PIDStats) CPI(cycleNS int64) float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.TimeNS) / float64(cycleNS) / float64(p.Instructions)
+}
+
+// String summarizes the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("instr=%d loads=%d stores=%d cycles=%d CPI=%.3f rel=%.3f",
+		r.Instructions, r.Loads, r.Stores, r.Cycles, r.CPI, r.RelTime)
+}
+
+// stallBucket maps a stall in cycles to its histogram bucket: 0 for none,
+// i ≥ 1 for [2^(i-1), 2^i).
+func stallBucket(cycles int64) int {
+	if cycles <= 0 {
+		return 0
+	}
+	b := 1
+	for cycles > 1 && b < 15 {
+		cycles >>= 1
+		b++
+	}
+	return b
+}
+
+// StallAtMost returns the fraction of issue slots whose stall was below
+// 2^bucket cycles — a cheap percentile view of the histogram.
+func (r Result) StallAtMost(bucket int) float64 {
+	var below, total int64
+	for i, c := range r.StallHist {
+		total += c
+		if i <= bucket {
+			below += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(below) / float64(total)
+}
+
+// Run executes the trace on the hierarchy and returns the result. The
+// hierarchy must be freshly constructed (or at least have had its schedule
+// reset) and must use the same CPU cycle time.
+func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if hc := h.Config().CPUCycleNS; hc != cfg.CycleNS {
+		return Result{}, fmt.Errorf("cpu: cycle time %d does not match hierarchy's %d", cfg.CycleNS, hc)
+	}
+
+	p := trace.NewPeeker(s)
+	var res Result
+
+	warmLeft := cfg.WarmupRefs
+	recording := warmLeft == 0
+	h.SetRecording(recording)
+
+	var now int64 // end of the most recent cycle
+	var startNS int64
+
+	res.PerPID = map[uint16]PIDStats{}
+
+	// note consumes bookkeeping for one reference.
+	note := func(r trace.Ref) {
+		if !recording {
+			return
+		}
+		ps := res.PerPID[r.PID]
+		switch r.Kind {
+		case trace.IFetch:
+			res.Instructions++
+			res.CPUReads++
+			ps.Instructions++
+		case trace.Load:
+			res.Loads++
+			res.CPUReads++
+			ps.Loads++
+		case trace.Store:
+			res.Stores++
+			ps.Stores++
+		}
+		res.PerPID[r.PID] = ps
+	}
+
+	var curPID uint16
+	var sawRef bool
+
+	for {
+		r, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+
+		if !recording && warmLeft == 0 {
+			recording = true
+			h.SetRecording(true)
+			startNS = now
+		}
+
+		if cfg.FlushOnSwitch {
+			if sawRef && r.PID != curPID {
+				now = h.FlushFirstLevels(now)
+				if recording {
+					res.Switches++
+				}
+			}
+			curPID, sawRef = r.PID, true
+		}
+
+		// One issue slot: a base cycle carrying this reference and, when
+		// the reference is an instruction fetch, at most one data access.
+		slotStart := now
+		now += cfg.CycleNS
+		if recording {
+			res.IdealNS += cfg.CycleNS
+		}
+		now = h.Access(r, now)
+		note(r)
+		refs := int64(1)
+		slotStore := r.Kind == trace.Store
+
+		if r.Kind == trace.IFetch {
+			if d, err := p.Peek(); err == nil && d.Kind != trace.IFetch {
+				if _, err := p.Next(); err != nil {
+					return res, err
+				}
+				now = h.Access(d, now)
+				note(d)
+				if d.Kind == trace.Store {
+					slotStore = true
+					if recording {
+						// The architectural extra write-hit cycle is part
+						// of the ideal machine too.
+						res.IdealNS += cfg.CycleNS
+					}
+				}
+				refs++
+			}
+		} else if recording && r.Kind == trace.Store {
+			res.IdealNS += cfg.CycleNS
+		}
+
+		if recording {
+			ps := res.PerPID[r.PID]
+			ps.TimeNS += now - slotStart
+			res.PerPID[r.PID] = ps
+
+			// The architectural store cycle is not a stall.
+			base := cfg.CycleNS
+			if slotStore {
+				base += cfg.CycleNS
+			}
+			res.StallHist[stallBucket((now-slotStart-base)/cfg.CycleNS)]++
+		}
+
+		if !recording {
+			warmLeft -= refs
+			if warmLeft < 0 {
+				warmLeft = 0
+			}
+		}
+	}
+
+	res.TimeNS = now - startNS
+	res.Cycles = res.TimeNS / cfg.CycleNS
+	if res.IdealNS > 0 {
+		res.RelTime = float64(res.TimeNS) / float64(res.IdealNS)
+	}
+	if res.Instructions > 0 {
+		res.CPI = float64(res.Cycles) / float64(res.Instructions)
+	}
+	res.Mem = h.Stats()
+	return res, nil
+}

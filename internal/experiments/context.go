@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mlcache/internal/mainmem"
+	"mlcache/internal/sweep"
+)
+
+// Context memoizes the expensive sweep surfaces so that figures sharing
+// data (4-1/4-2 share a surface; 5-1..5-3 share the direct-mapped surface)
+// compute it once per process. A Context is safe for concurrent use.
+type Context struct {
+	Opt Options
+
+	mu        sync.Mutex
+	surfaces  map[string]SpeedSizeResult
+	missCurve map[int]MissRatioResult
+}
+
+// NewContext returns a Context with the given options.
+func NewContext(opt Options) *Context {
+	return &Context{
+		Opt:       opt,
+		surfaces:  map[string]SpeedSizeResult{},
+		missCurve: map[int]MissRatioResult{},
+	}
+}
+
+// MissRatios returns the (memoized) Figure 3 curve for an L1 size.
+func (c *Context) MissRatios(l1TotalKB int) (MissRatioResult, error) {
+	c.mu.Lock()
+	if r, ok := c.missCurve[l1TotalKB]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+	r, err := MissRatios(l1TotalKB, Fig3Sizes(), c.Opt)
+	if err != nil {
+		return r, err
+	}
+	c.mu.Lock()
+	c.missCurve[l1TotalKB] = r
+	c.mu.Unlock()
+	return r, nil
+}
+
+// Surface returns the (memoized) speed–size surface for the parameters.
+func (c *Context) Surface(l1TotalKB, assoc int, mem mainmem.Config, grid sweep.Grid) (SpeedSizeResult, error) {
+	key := fmt.Sprintf("l1=%d assoc=%d mem=%+v sizes=%v cycles=%v",
+		l1TotalKB, assoc, mem, grid.SizesBytes, grid.CyclesNS)
+	c.mu.Lock()
+	if r, ok := c.surfaces[key]; ok {
+		c.mu.Unlock()
+		return r, nil
+	}
+	c.mu.Unlock()
+	r, err := SpeedSize(l1TotalKB, assoc, mem, grid, c.Opt)
+	if err != nil {
+		return r, err
+	}
+	c.mu.Lock()
+	c.surfaces[key] = r
+	c.mu.Unlock()
+	return r, nil
+}
+
+// BreakEven returns the Figure 5 surface for a set size, sharing the
+// underlying sweeps through the context cache.
+func (c *Context) BreakEven(l1TotalKB, setSize int, grid sweep.Grid) (BreakEvenResult, error) {
+	res := BreakEvenResult{
+		L1TotalKB:  l1TotalKB,
+		SetSize:    setSize,
+		SizesBytes: grid.SizesBytes,
+		CyclesNS:   grid.CyclesNS,
+	}
+	if setSize < 2 {
+		return res, fmt.Errorf("experiments: set size %d must be at least 2", setSize)
+	}
+	dm, err := c.Surface(l1TotalKB, 1, mainmem.Base(), grid)
+	if err != nil {
+		return res, err
+	}
+	extGrid := sweep.Grid{SizesBytes: grid.SizesBytes, CyclesNS: extendCycles(grid.CyclesNS, 8)}
+	sa, err := c.Surface(l1TotalKB, setSize, mainmem.Base(), extGrid)
+	if err != nil {
+		return res, err
+	}
+	res.BreakEvenNS = make([][]float64, len(grid.SizesBytes))
+	for i := range grid.SizesBytes {
+		res.BreakEvenNS[i] = make([]float64, len(grid.CyclesNS))
+		for j, dmCycle := range grid.CyclesNS {
+			saCycle := invertTime(extGrid.CyclesNS, sa.TimeNS[i], dm.TimeNS[i][j])
+			res.BreakEvenNS[i][j] = saCycle - float64(dmCycle)
+		}
+	}
+	return res, nil
+}

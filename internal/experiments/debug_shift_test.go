@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"mlcache/internal/mainmem"
+)
+
+// TestDebugShiftFields is a diagnostic for the contour-shift measurement;
+// run with -run DebugShift -v to inspect the slope fields.
+func TestDebugShiftFields(t *testing.T) {
+	if testing.Short() || !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	opt := Options{Seed: 1, Refs: 400_000, Warmup: 80_000}
+	ctx := NewContext(opt)
+	s4, err := ctx.Surface(4, 1, mainmem.Base(), Fig4Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32, err := ctx.Surface(32, 1, mainmem.Base(), Fig4Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4 := s4.ContourGrid().SlopeField()
+	f32 := s32.ContourGrid().SlopeField()
+	sizes := Fig4Grid().SizesBytes
+	j := 3 // the 4-cycle row
+	for i := range f4 {
+		t.Logf("size %5dKB: slope4 %8.2f  slope32 %8.2f  ratio %6.2f  v4 %.3e v32 %.3e",
+			sizes[i]/1024, f4[i][j], f32[i][j], f32[i][j]/f4[i][j],
+			f4[i][j]/float64(sizes[i]), f32[i][j]/float64(sizes[i]))
+	}
+}

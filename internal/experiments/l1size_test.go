@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mlcache/internal/sweep"
+)
+
+func TestL1SizeSweep(t *testing.T) {
+	kbs := []int{2, 8, 32}
+	cycles := sweep.CyclesRange(1, 8, CPUCycleNS)
+	res, err := L1Size(kbs, []int64{cycles[0], cycles[7]}, 1.5, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rel) != 3 || len(res.Rel[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(res.Rel), len(res.Rel[0]))
+	}
+	// At fixed L2 cycle time, a bigger L1 is never slower (CPU clock held
+	// constant inside Rel).
+	for j := 0; j < 2; j++ {
+		for i := 1; i < 3; i++ {
+			if res.Rel[i][j] > res.Rel[i-1][j] {
+				t.Errorf("bigger L1 slower at cycle idx %d: %v", j, res.Rel)
+			}
+		}
+	}
+	// §6: the optimal L1 under the clock-cost model grows (or stays) as
+	// the L2 slows.
+	if res.OptimalL1[1] < res.OptimalL1[0] {
+		t.Errorf("optimal L1 shrank with slower L2: %v", res.OptimalL1)
+	}
+	// With a fast L2 and a real clock cost, the optimum is not the
+	// largest L1 (the paper's "small, short cycle time L1" preference).
+	if res.OptimalL1[0] == kbs[len(kbs)-1] && res.OptimalL1[1] == res.OptimalL1[0] {
+		t.Logf("note: optimum saturated at the largest L1 for both cycle times")
+	}
+}
+
+func TestRenderL1Size(t *testing.T) {
+	res, err := L1Size([]int{2, 8}, []int64{10, 60}, 1.5,
+		Options{Seed: 1, Refs: 60_000, Warmup: 12_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderL1Size(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "optimal L1 per L2 cycle time") {
+		t.Errorf("rendering incomplete:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+
+	"mlcache/internal/sweep"
+)
+
+// BreakEvenResult is the data behind Figures 5-1/5-2/5-3: the cumulative
+// break-even implementation times for set associativity across the L2
+// design space. BreakEvenNS[i][j] is the cycle-time degradation (ns) over
+// the direct-mapped cache at SizesBytes[i] and direct-mapped cycle time
+// CyclesNS[j] that exactly cancels the miss-ratio benefit of a SetSize-way
+// cache of the same size: implementations of associativity costing less
+// than this win, costlier ones lose (§5).
+type BreakEvenResult struct {
+	L1TotalKB   int
+	SetSize     int
+	SizesBytes  []int64
+	CyclesNS    []int64
+	BreakEvenNS [][]float64
+}
+
+// BreakEven surfaces are computed by Context.BreakEven: it runs the
+// direct-mapped and SetSize-way execution-time surfaces and, for every
+// direct-mapped design point, finds the associative cycle time giving equal
+// execution time (interpolating in the cycle-time axis; the associative
+// grid extends beyond the direct-mapped one to provide headroom).
+
+// extendCycles appends n further steps beyond the last cycle time, using
+// the final step size.
+func extendCycles(cycles []int64, n int) []int64 {
+	out := append([]int64{}, cycles...)
+	step := int64(CPUCycleNS)
+	if len(cycles) >= 2 {
+		step = cycles[len(cycles)-1] - cycles[len(cycles)-2]
+	}
+	last := out[len(out)-1]
+	for k := 1; k <= n; k++ {
+		out = append(out, last+int64(k)*step)
+	}
+	return out
+}
+
+// invertTime finds the cycle time at which the (increasing) execution-time
+// row reaches target, interpolating linearly and extrapolating from the
+// nearest pair beyond the measured range.
+func invertTime(cycles []int64, times []int64, target int64) float64 {
+	n := len(times)
+	for j := 0; j+1 < n; j++ {
+		if (times[j] <= target && target <= times[j+1]) || (times[j+1] <= target && target <= times[j]) {
+			lo, hi := float64(times[j]), float64(times[j+1])
+			if hi == lo {
+				return float64(cycles[j])
+			}
+			f := (float64(target) - lo) / (hi - lo)
+			return float64(cycles[j]) + f*float64(cycles[j+1]-cycles[j])
+		}
+	}
+	// Extrapolate from the nearest edge pair.
+	var j int
+	if target < times[0] {
+		j = 0
+	} else {
+		j = n - 2
+	}
+	lo, hi := float64(times[j]), float64(times[j+1])
+	if hi == lo {
+		return float64(cycles[j])
+	}
+	f := (float64(target) - lo) / (hi - lo)
+	return float64(cycles[j]) + f*float64(cycles[j+1]-cycles[j])
+}
+
+// Fig5Grid is the design space of Figures 5-1 through 5-3. The paper plots
+// total L2 sizes 8 KB–4 MB over the interesting cycle-time range.
+func Fig5Grid() sweep.Grid {
+	return sweep.Grid{
+		SizesBytes: sweep.SizesPow2(8, 4096),
+		CyclesNS:   sweep.CyclesRange(1, 10, CPUCycleNS),
+	}
+}
+
+// MeanBreakEvenNS averages the break-even surface, the headline "a
+// designer has between 10 and 20 ns available" quantity of §5.
+func (r BreakEvenResult) MeanBreakEvenNS() float64 {
+	var sum float64
+	var n int
+	for i := range r.BreakEvenNS {
+		for _, v := range r.BreakEvenNS[i] {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,135 @@
+package memsys
+
+import (
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/trace"
+)
+
+func prefetchConfig(l1Prefetch, l2Prefetch bool) Config {
+	cfg := baseConfig()
+	cfg.L1I.Prefetch = l1Prefetch
+	cfg.L1D.Prefetch = l1Prefetch
+	cfg.Down[0].Prefetch = l2Prefetch
+	return cfg
+}
+
+// TestL1PrefetchFetchesNextBlock: after a demand miss, the next L1 block
+// is prefetched in the background and a subsequent sequential access hits.
+func TestL1PrefetchFetchesNextBlock(t *testing.T) {
+	h := MustNew(prefetchConfig(true, false))
+	done := h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x1000}, 10)
+	// The demand stall is unchanged: prefetch must not delay the CPU.
+	if done != 310 {
+		t.Errorf("demand done at %d, want 310 (prefetch must be free)", done)
+	}
+	// The sequentially next block was brought in.
+	s := h.Stats()
+	if s.L1I.Prefetches != 1 {
+		t.Fatalf("prefetches = %d, want 1", s.L1I.Prefetches)
+	}
+	// Far in the future (prefetch long complete), the next block hits.
+	if got := h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x1010}, 100000); got != 100000 {
+		t.Errorf("prefetched block access done at %d, want hit (100000)", got)
+	}
+}
+
+// TestPrefetchOccupiesDownstream: the background prefetch keeps the L2
+// busy after the demand fill, delaying an immediately following demand.
+func TestPrefetchOccupiesDownstream(t *testing.T) {
+	without := MustNew(prefetchConfig(false, false))
+	with := MustNew(prefetchConfig(true, false))
+	// Two back-to-back misses to unrelated blocks.
+	a := trace.Ref{Kind: trace.IFetch, Addr: 0x1000}
+	b := trace.Ref{Kind: trace.IFetch, Addr: 0x9000}
+	t0 := without.Access(a, 10)
+	t0 = without.Access(b, t0+10)
+	t1 := with.Access(a, 10)
+	t1 = with.Access(b, t1+10)
+	if t1 <= t0 {
+		t.Errorf("prefetch traffic did not delay the next demand: with %d, without %d", t1, t0)
+	}
+}
+
+// TestPrefetchHelpsSequentialStream: on a purely sequential instruction
+// stream, prefetching strictly reduces execution time.
+func TestPrefetchHelpsSequentialStream(t *testing.T) {
+	run := func(pf bool) int64 {
+		h := MustNew(prefetchConfig(pf, pf))
+		now := int64(0)
+		for i := 0; i < 4000; i++ {
+			now += 10
+			now = h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x100000 + uint64(i)*4}, now)
+		}
+		return now
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("prefetch did not help a sequential stream: with %d, without %d", with, without)
+	}
+}
+
+// TestPrefetchDoesNotPolluteReadStats: prefetch fills are quiet.
+func TestPrefetchDoesNotPolluteReadStats(t *testing.T) {
+	h := MustNew(prefetchConfig(true, true))
+	h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x1000}, 10)
+	s := h.Stats()
+	if s.L1I.Cache.ReadRefs != 1 || s.L1I.Cache.ReadMisses != 1 {
+		t.Errorf("L1I stats polluted: %+v", s.L1I.Cache)
+	}
+	// The L2 saw exactly one demand read; prefetch traffic is uncounted.
+	if s.Down[0].Cache.ReadRefs != 1 {
+		t.Errorf("L2 read refs = %d, want 1", s.Down[0].Cache.ReadRefs)
+	}
+}
+
+// TestSubBlockedL2TransfersLess: a sub-blocked deepest level fetches only
+// its fetch unit from memory, shortening the miss penalty (one bus beat
+// instead of two for a 16B fetch unit on a 16B bus).
+func TestSubBlockedL2TransfersLess(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Down[0].Cache.FetchBytes = 16
+	h := MustNew(cfg)
+	done := h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10000}, 10)
+	// 10 + L2 tag 30 + (addr beat 30 + read 180 + ONE beat 30) = 280.
+	if done != 280 {
+		t.Errorf("sub-blocked cold miss done at %d, want 280", done)
+	}
+	s := h.Stats()
+	if s.Down[0].Cache.ReadMisses != 1 {
+		t.Errorf("L2 misses = %+v", s.Down[0].Cache)
+	}
+	// The other half of the L2 block is NOT resident: accessing it misses
+	// in L2 again (partial miss).
+	h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10010}, 1000)
+	s = h.Stats()
+	if s.Down[0].Cache.ReadMisses != 2 || s.Down[0].Cache.PartialMisses != 1 {
+		t.Errorf("L2 stats after sibling access: %+v", s.Down[0].Cache)
+	}
+}
+
+func TestPrefetchWithUnifiedSingleLevel(t *testing.T) {
+	cfg := Config{
+		CPUCycleNS: 10,
+		L1: LevelConfig{
+			Cache: cache.Config{
+				Name: "solo", SizeBytes: 32 * 1024, BlockBytes: 32, Assoc: 1,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			},
+			CycleNS:  10,
+			Prefetch: true,
+		},
+		Memory: mainmem.Base(),
+	}
+	h := MustNew(cfg)
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 0x4000}, 10)
+	if s := h.Stats(); s.L1.Prefetches != 1 {
+		t.Errorf("solo prefetches = %d, want 1", s.L1.Prefetches)
+	}
+	// Memory performed two reads: demand + prefetch.
+	if s := h.Stats(); s.MemReads != 2 {
+		t.Errorf("mem reads = %d, want 2", s.MemReads)
+	}
+}

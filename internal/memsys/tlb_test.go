@@ -1,0 +1,107 @@
+package memsys
+
+import (
+	"testing"
+
+	"mlcache/internal/trace"
+)
+
+func tlbConfig(entries int) Config {
+	cfg := baseConfig()
+	cfg.TLB = TLBConfig{Entries: entries}
+	return cfg
+}
+
+func TestTLBConfigValidate(t *testing.T) {
+	if err := (TLBConfig{}).Validate(); err != nil {
+		t.Errorf("disabled TLB rejected: %v", err)
+	}
+	if err := (TLBConfig{Entries: 64}).Validate(); err != nil {
+		t.Errorf("64-entry TLB rejected: %v", err)
+	}
+	if err := (TLBConfig{Entries: -1}).Validate(); err == nil {
+		t.Error("negative entries accepted")
+	}
+	if err := (TLBConfig{Entries: 64, WalkLevels: -1}).Validate(); err == nil {
+		t.Error("negative walk levels accepted")
+	}
+	if err := (TLBConfig{Entries: 3}).Validate(); err == nil {
+		t.Error("non-pow2 fully-assoc entries accepted (cache geometry)")
+	}
+}
+
+func TestTLBHitIsFree(t *testing.T) {
+	h := MustNew(tlbConfig(64))
+	// First access: TLB miss (walk) + cache miss.
+	h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10000}, 10)
+	// Second access to the same page and block: TLB hit, cache hit —
+	// no stall at all.
+	if got := h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10004}, 100000); got != 100000 {
+		t.Errorf("translated warm access done at %d, want 100000", got)
+	}
+	s := h.Stats()
+	if s.TLB == nil {
+		t.Fatal("TLB stats missing")
+	}
+	if s.TLB.Refs != 2 || s.TLB.Misses != 1 {
+		t.Errorf("TLB stats = %+v", s.TLB)
+	}
+}
+
+func TestTLBMissCostsWalk(t *testing.T) {
+	with := MustNew(tlbConfig(64))
+	without := MustNew(baseConfig())
+	// Cold access: the TLB machine pays the walk on top of the miss.
+	tWith := with.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10000}, 10)
+	tWithout := without.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10000}, 10)
+	if tWith <= tWithout {
+		t.Errorf("TLB walk cost nothing: %d vs %d", tWith, tWithout)
+	}
+	if s := with.Stats(); s.TLB.WalkNS <= 0 {
+		t.Errorf("walk time = %d", s.TLB.WalkNS)
+	}
+}
+
+func TestTLBReachEffect(t *testing.T) {
+	// Touch 32 pages round-robin: a 64-entry TLB holds them all (one miss
+	// per page); a 16-entry TLB thrashes.
+	run := func(entries int) TLBStats {
+		h := MustNew(tlbConfig(entries))
+		now := int64(10)
+		for round := 0; round < 10; round++ {
+			for p := 0; p < 32; p++ {
+				now = h.Access(trace.Ref{Kind: trace.Load, Addr: uint64(p) * 4096}, now) + 10
+			}
+		}
+		return *h.Stats().TLB
+	}
+	big, small := run(64), run(16)
+	if big.Misses != 32 {
+		t.Errorf("64-entry misses = %d, want 32 (one per page)", big.Misses)
+	}
+	if small.Misses <= big.Misses*4 {
+		t.Errorf("16-entry TLB did not thrash: %d vs %d", small.Misses, big.Misses)
+	}
+}
+
+func TestTLBDisabledByDefault(t *testing.T) {
+	h := MustNew(baseConfig())
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 0x1000}, 10)
+	if h.Stats().TLB != nil {
+		t.Error("TLB stats present without a TLB")
+	}
+}
+
+func TestTLBWalksDoNotPolluteDemandStats(t *testing.T) {
+	h := MustNew(tlbConfig(64))
+	h.Access(trace.Ref{Kind: trace.IFetch, Addr: 0x10000}, 10)
+	s := h.Stats()
+	// One demand ifetch: exactly one L1I read ref; the PTE loads are
+	// quiet.
+	if s.L1I.Cache.ReadRefs != 1 {
+		t.Errorf("L1I read refs = %d, want 1", s.L1I.Cache.ReadRefs)
+	}
+	if s.L1D.Cache.ReadRefs != 0 {
+		t.Errorf("L1D read refs = %d, want 0 (walk must be quiet)", s.L1D.Cache.ReadRefs)
+	}
+}

@@ -1,0 +1,229 @@
+package optimal
+
+import (
+	"strings"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/cpu"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+func baseMachine() memsys.Config {
+	l1 := func(name string) memsys.LevelConfig {
+		return memsys.LevelConfig{
+			Cache: cache.Config{
+				Name: name, SizeBytes: 2 * 1024, BlockBytes: 16, Assoc: 1,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			},
+			CycleNS: 10,
+		}
+	}
+	return memsys.Config{
+		CPUCycleNS: 10,
+		SplitL1:    true,
+		L1I:        l1("L1I"),
+		L1D:        l1("L1D"),
+		Down: []memsys.LevelConfig{{
+			Cache: cache.Config{
+				Name: "L2", SizeBytes: 512 * 1024, BlockBytes: 32, Assoc: 1,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			},
+			CycleNS: 30,
+		}},
+		Memory: mainmem.Base(),
+	}
+}
+
+func testTech() Technology {
+	return Technology{
+		BaseCycleNS:    20,
+		RefSizeBytes:   64 * 1024,
+		NSPerDoubling:  3,
+		AssocPenaltyNS: 11,
+		MinSizeBytes:   32 * 1024,
+		MaxSizeBytes:   1024 * 1024,
+		Assocs:         []int{1, 2},
+	}
+}
+
+func testSearchConfig() Config {
+	return Config{
+		Base:  baseMachine(),
+		Tech:  testTech(),
+		Trace: func() trace.Stream { return synth.PaperStream(1, 150_000) },
+		CPU:   cpu.Config{CycleNS: 10, WarmupRefs: 30_000},
+		TopK:  3,
+	}
+}
+
+func TestTechnologyValidate(t *testing.T) {
+	if err := testTech().Validate(); err != nil {
+		t.Fatalf("valid tech rejected: %v", err)
+	}
+	cases := []func(*Technology){
+		func(c *Technology) { c.BaseCycleNS = 0 },
+		func(c *Technology) { c.RefSizeBytes = 0 },
+		func(c *Technology) { c.NSPerDoubling = -1 },
+		func(c *Technology) { c.AssocPenaltyNS = -1 },
+		func(c *Technology) { c.MinSizeBytes = 0 },
+		func(c *Technology) { c.MaxSizeBytes = 1 },
+		func(c *Technology) { c.Assocs = []int{-2} },
+	}
+	for i, mutate := range cases {
+		tech := testTech()
+		mutate(&tech)
+		if err := tech.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTechnologyCycle(t *testing.T) {
+	tech := testTech()
+	// At the reference size, direct-mapped: the base cycle.
+	if got := tech.CycleNS(64*1024, 1); got != 20 {
+		t.Errorf("cycle at ref = %d, want 20", got)
+	}
+	// Two doublings: +6 ns.
+	if got := tech.CycleNS(256*1024, 1); got != 26 {
+		t.Errorf("cycle at 256KB = %d, want 26", got)
+	}
+	// Associativity: +11 ns.
+	if got := tech.CycleNS(64*1024, 2); got != 31 {
+		t.Errorf("2-way cycle = %d, want 31", got)
+	}
+	// Below the reference the cycle shrinks but never below 1.
+	if got := tech.CycleNS(1, 1); got < 1 {
+		t.Errorf("tiny cycle = %d", got)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	cfg := testSearchConfig()
+	cfg.Tech.BaseCycleNS = 0
+	if _, err := Search(cfg); err == nil {
+		t.Error("bad tech accepted")
+	}
+	cfg = testSearchConfig()
+	cfg.Base.Down = nil
+	if _, err := Search(cfg); err == nil {
+		t.Error("no-L2 base accepted")
+	}
+	cfg = testSearchConfig()
+	cfg.Trace = nil
+	if _, err := Search(cfg); err == nil {
+		t.Error("missing trace accepted")
+	}
+	cfg = testSearchConfig()
+	cfg.Trace = func() trace.Stream { return trace.Trace{{Kind: trace.Store}}.Stream() }
+	if _, err := Search(cfg); err == nil {
+		t.Error("read-free workload accepted")
+	}
+}
+
+func TestSearchFindsReasonableOptimum(t *testing.T) {
+	res, err := Search(testSearchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 sizes x 2 assocs.
+	if len(res.Candidates) != 12 {
+		t.Fatalf("candidates = %d, want 12", len(res.Candidates))
+	}
+	if len(res.Simulated) != 3 {
+		t.Fatalf("simulated = %d, want 3", len(res.Simulated))
+	}
+	if res.Best.MeasuredRel <= 1 {
+		t.Errorf("best measured rel = %v, must exceed 1", res.Best.MeasuredRel)
+	}
+	if res.ML1 <= 0 || res.ML1 > 0.5 {
+		t.Errorf("profiled ML1 = %v", res.ML1)
+	}
+	if res.MissModel.Alpha <= 0 {
+		t.Errorf("no fitted miss model: %+v", res.MissModel)
+	}
+	// The measured winner is first in Simulated.
+	for _, v := range res.Simulated[1:] {
+		if v.MeasuredRel < res.Best.MeasuredRel {
+			t.Errorf("Best is not the measured minimum")
+		}
+	}
+}
+
+// TestSearchRespondsToTechnology: with a free size (no per-doubling cost)
+// the search picks a comfortably large cache; a punitive cost pins it to
+// the minimum.
+func TestSearchRespondsToTechnology(t *testing.T) {
+	free := testSearchConfig()
+	free.Tech.NSPerDoubling = 0
+	free.Tech.Assocs = []int{1}
+	resFree, err := Search(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFree.Candidates[0].SizeBytes < 64*1024 {
+		t.Errorf("free doubling: predicted best size %d, want >= 64KB",
+			resFree.Candidates[0].SizeBytes)
+	}
+	// Nothing smaller than the winner predicts better, and the winner is
+	// no slower (predicted) than the largest size.
+	maxRel := 0.0
+	for _, c := range resFree.Candidates {
+		if c.SizeBytes == free.Tech.MaxSizeBytes {
+			maxRel = c.PredictedRel
+		}
+	}
+	if resFree.Candidates[0].PredictedRel > maxRel+1e-12 {
+		t.Errorf("winner (%.6f) predicted worse than max size (%.6f)",
+			resFree.Candidates[0].PredictedRel, maxRel)
+	}
+
+	punitive := testSearchConfig()
+	punitive.Tech.NSPerDoubling = 40 // 4 CPU cycles per doubling
+	punitive.Tech.Assocs = []int{1}
+	resPun, err := Search(punitive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPun.Candidates[0].SizeBytes > 64*1024 {
+		t.Errorf("punitive doubling: predicted best size %d, want small",
+			resPun.Candidates[0].SizeBytes)
+	}
+	if resPun.Candidates[0].SizeBytes > resFree.Candidates[0].SizeBytes {
+		t.Errorf("punitive optimum (%d) larger than free optimum (%d)",
+			resPun.Candidates[0].SizeBytes, resFree.Candidates[0].SizeBytes)
+	}
+}
+
+// TestSearchPrefersAssociativityWhenCheap: with a free mux, set-associative
+// candidates dominate direct-mapped ones at equal size in the prediction.
+func TestSearchPrefersAssociativityWhenCheap(t *testing.T) {
+	cfg := testSearchConfig()
+	cfg.Tech.AssocPenaltyNS = 0
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates[0].Assoc != 2 {
+		t.Errorf("free associativity: predicted best is %d-way, want 2-way", res.Candidates[0].Assoc)
+	}
+}
+
+func TestRender(t *testing.T) {
+	res, err := Search(testSearchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Render(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "best:") || !strings.Contains(out, "measured rel") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a Chart.
+type Series struct {
+	Name  string
+	Glyph rune
+	X     []float64
+	Y     []float64
+}
+
+// Chart renders curves on a character grid with a log2 X axis (cache
+// sizes) and a linear or log10 Y axis (miss ratios plot best with LogY).
+type Chart struct {
+	Width  int // plot columns (default 56)
+	Height int // plot rows (default 14)
+	LogY   bool
+	Series []Series
+}
+
+func (c Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 14
+	}
+	return w, h
+}
+
+// Render writes the chart. Series points with non-positive coordinates on
+// a log axis are skipped.
+func (c Chart) Render(out io.Writer) error {
+	w, h := c.dims()
+
+	xOK := func(x float64) bool { return x > 0 }
+	yOK := func(y float64) bool { return !c.LogY || y > 0 }
+	xT := math.Log2
+	yT := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) || !xOK(s.X[i]) || !yOK(s.Y[i]) {
+				continue
+			}
+			points++
+			minX = math.Min(minX, xT(s.X[i]))
+			maxX = math.Max(maxX, xT(s.X[i]))
+			minY = math.Min(minY, yT(s.Y[i]))
+			maxY = math.Max(maxY, yT(s.Y[i]))
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("report: chart has no plottable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		for i := range s.X {
+			if i >= len(s.Y) || !xOK(s.X[i]) || !yOK(s.Y[i]) {
+				continue
+			}
+			col := int(math.Round((xT(s.X[i]) - minX) / (maxX - minX) * float64(w-1)))
+			row := int(math.Round((yT(s.Y[i]) - minY) / (maxY - minY) * float64(h-1)))
+			r := h - 1 - row // top row is max Y
+			if grid[r][col] != ' ' && grid[r][col] != glyph {
+				grid[r][col] = '@' // overlapping series
+			} else {
+				grid[r][col] = glyph
+			}
+		}
+	}
+
+	label := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("%9.2g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < h; r++ {
+		axis := strings.Repeat(" ", 9)
+		if r == 0 {
+			axis = label(maxY)
+		}
+		if r == h-1 {
+			axis = label(minY)
+		}
+		if _, err := fmt.Fprintf(out, "%s |%s\n", axis, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(out, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", w)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(out, "%s  %-*s%s\n", strings.Repeat(" ", 9), w-10,
+		fmt.Sprintf("%.0f", math.Pow(2, minX)), fmt.Sprintf("%10.0f", math.Pow(2, maxX))); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for _, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, s.Name))
+	}
+	_, err := fmt.Fprintf(out, "%s  x: log2  legend: %s\n", strings.Repeat(" ", 9), strings.Join(legend, ", "))
+	return err
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Width:  40,
+		Height: 10,
+		LogY:   true,
+		Series: []Series{
+			{
+				Name:  "solo",
+				Glyph: 's',
+				X:     []float64{8192, 16384, 32768, 65536},
+				Y:     []float64{0.05, 0.035, 0.025, 0.017},
+			},
+			{
+				Name:  "global",
+				Glyph: 'g',
+				X:     []float64{8192, 16384, 32768, 65536},
+				Y:     []float64{0.033, 0.026, 0.020, 0.015},
+			},
+		},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "s") || !strings.Contains(out, "g") {
+		t.Errorf("series glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: s solo, g global") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "8192") || !strings.Contains(out, "65536") {
+		t.Errorf("x labels missing:\n%s", out)
+	}
+	// 10 plot rows + axis + x labels + legend.
+	if lines := strings.Count(out, "\n"); lines != 13 {
+		t.Errorf("line count = %d, want 13:\n%s", lines, out)
+	}
+}
+
+func TestChartCornerPlacement(t *testing.T) {
+	// Two points: (1, 0) and (2, 1) on a linear Y axis must land in
+	// opposite corners.
+	c := Chart{
+		Width:  10,
+		Height: 5,
+		Series: []Series{{Name: "p", Glyph: 'p', X: []float64{1, 2}, Y: []float64{0, 1}}},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	top, bottom := lines[0], lines[4]
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "p") {
+		t.Errorf("max point not in top-right: %q", top)
+	}
+	if !strings.Contains(bottom, "|p") {
+		t.Errorf("min point not at bottom-left: %q", bottom)
+	}
+}
+
+func TestChartOverlapMarker(t *testing.T) {
+	c := Chart{
+		Width:  8,
+		Height: 4,
+		Series: []Series{
+			{Name: "a", Glyph: 'a', X: []float64{1, 2}, Y: []float64{0, 1}},
+			{Name: "b", Glyph: 'b', X: []float64{1, 2}, Y: []float64{0, 1}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "@") {
+		t.Errorf("overlap marker missing:\n%s", sb.String())
+	}
+}
+
+func TestChartNoPoints(t *testing.T) {
+	c := Chart{LogY: true, Series: []Series{{Name: "empty", X: []float64{1}, Y: []float64{0}}}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err == nil {
+		t.Error("chart with no plottable points accepted")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// A single point must still render (ranges padded).
+	c := Chart{Series: []Series{{Name: "one", X: []float64{4}, Y: []float64{2}}}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("default glyph missing")
+	}
+}

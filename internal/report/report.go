@@ -1,0 +1,191 @@
+// Package report renders experiment results as aligned ASCII tables, text
+// contour/region maps of the (size, cycle time) design space, and CSV for
+// external plotting. All experiment drivers and CLIs share these renderers
+// so the paper's figures come out in one consistent format.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, wd := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", wd, c)
+		}
+		sb.WriteString("\n")
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	rule := make([]string, len(widths))
+	for i, wd := range widths {
+		rule[i] = strings.Repeat("-", wd)
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table in comma-separated form (no quoting; intended for
+// numeric experiment data).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeLabel renders a byte count as the paper's axis labels: "8", "512",
+// "4096" (KB implied) below 1 MB granularity handled in KB.
+func SizeLabel(bytes int64) string {
+	return fmt.Sprintf("%d", bytes/1024)
+}
+
+// RegionMap renders a character map of the design space: rows are cycle
+// times (top = slowest, matching the paper's Y axis), columns are sizes.
+// values[i][j] is indexed by size i, cycle j; each cell is classified by
+// classify into a rune.
+type RegionMap struct {
+	SizesBytes []int64
+	CyclesNS   []int64
+	CPUCycleNS int64
+	// Cell returns the rune for the cell at size index i, cycle index j.
+	Cell func(i, j int) rune
+}
+
+// Render writes the map with axis labels.
+func (m RegionMap) Render(w io.Writer) error {
+	for j := len(m.CyclesNS) - 1; j >= 0; j-- {
+		cycles := float64(m.CyclesNS[j]) / float64(m.CPUCycleNS)
+		if _, err := fmt.Fprintf(w, "%5.1f cyc |", cycles); err != nil {
+			return err
+		}
+		for i := range m.SizesBytes {
+			if _, err := fmt.Fprintf(w, " %c", m.Cell(i, j)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s+%s\n", "", strings.Repeat("--", len(m.SizesBytes))); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s ", "KB:"); err != nil {
+		return err
+	}
+	for _, s := range m.SizesBytes {
+		lbl := SizeLabel(s)
+		if _, err := fmt.Fprintf(w, "%s ", lastChar(lbl)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	if err != nil {
+		return err
+	}
+	// Full labels on a second line, since single characters are ambiguous.
+	_, err = fmt.Fprintf(w, "%10s %s\n", "sizes:", joinSizes(m.SizesBytes))
+	return err
+}
+
+func lastChar(s string) string { return s[len(s)-1:] }
+
+func joinSizes(sizes []int64) string {
+	parts := make([]string, len(sizes))
+	for i, s := range sizes {
+		parts[i] = SizeLabel(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// SlopeGlyph maps a slope-region index (see contour.Region) to the glyphs
+// used in the figure renderings: '.' flat, '+', 'x', '#' steepest.
+func SlopeGlyph(region int) rune {
+	glyphs := []rune{'.', '+', 'x', '#'}
+	if region < 0 {
+		region = 0
+	}
+	if region >= len(glyphs) {
+		region = len(glyphs) - 1
+	}
+	return glyphs[region]
+}
+
+// Ratio formats a miss ratio with sensible precision.
+func Ratio(r float64) string {
+	switch {
+	case r == 0:
+		return "0"
+	case r < 0.001:
+		return fmt.Sprintf("%.5f", r)
+	default:
+		return fmt.Sprintf("%.4f", r)
+	}
+}
+
+// NS formats a nanosecond quantity, using "inf" for unbounded values.
+func NS(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

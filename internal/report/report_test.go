@@ -1,0 +1,127 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("size", "miss ratio")
+	tb.AddRow("8", "0.0450")
+	tb.AddRow("4096", "0.0039")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "size") || !strings.Contains(lines[0], "miss ratio") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+	// Columns align: all lines equal length.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Errorf("line %d length %d != header %d", i, len(lines[i]), len(lines[0]))
+		}
+	}
+}
+
+func TestTableExtraAndMissingCells(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2", "3") // extra dropped
+	tb.AddRow("1")           // missing rendered empty
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "3") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if got := SizeLabel(512 * 1024); got != "512" {
+		t.Errorf("SizeLabel = %q, want 512", got)
+	}
+	if got := SizeLabel(4 << 20); got != "4096" {
+		t.Errorf("SizeLabel = %q, want 4096", got)
+	}
+}
+
+func TestRegionMapRender(t *testing.T) {
+	m := RegionMap{
+		SizesBytes: []int64{8 * 1024, 16 * 1024, 32 * 1024},
+		CyclesNS:   []int64{10, 20},
+		CPUCycleNS: 10,
+		Cell: func(i, j int) rune {
+			return SlopeGlyph(i) // varies by size only
+		},
+	}
+	var sb strings.Builder
+	if err := m.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2.0 cyc") || !strings.Contains(out, "1.0 cyc") {
+		t.Errorf("cycle labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, ". + x") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	if !strings.Contains(out, "8 16 32") {
+		t.Errorf("size labels missing:\n%s", out)
+	}
+	// Y axis is top-down from slowest: "2.0 cyc" line above "1.0 cyc".
+	if strings.Index(out, "2.0 cyc") > strings.Index(out, "1.0 cyc") {
+		t.Error("cycle rows not descending")
+	}
+}
+
+func TestSlopeGlyph(t *testing.T) {
+	if SlopeGlyph(0) != '.' || SlopeGlyph(1) != '+' || SlopeGlyph(2) != 'x' || SlopeGlyph(3) != '#' {
+		t.Error("glyphs wrong")
+	}
+	if SlopeGlyph(-1) != '.' || SlopeGlyph(99) != '#' {
+		t.Error("out-of-range glyphs not clamped")
+	}
+}
+
+func TestRatioFormat(t *testing.T) {
+	if Ratio(0) != "0" {
+		t.Error("Ratio(0)")
+	}
+	if got := Ratio(0.05); got != "0.0500" {
+		t.Errorf("Ratio(0.05) = %q", got)
+	}
+	if got := Ratio(0.0002); got != "0.00020" {
+		t.Errorf("Ratio(0.0002) = %q", got)
+	}
+}
+
+func TestNSFormat(t *testing.T) {
+	if got := NS(12.34); got != "12.3" {
+		t.Errorf("NS = %q", got)
+	}
+	if got := NS(math.Inf(1)); got != "inf" {
+		t.Errorf("NS(inf) = %q", got)
+	}
+}

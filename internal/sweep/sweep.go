@@ -1,0 +1,166 @@
+// Package sweep runs grids of hierarchy simulations — the experimental
+// method of §4 and §5: "the tradeoff between a temporal and an
+// organizational parameter is investigated experimentally by varying the
+// two design variables simultaneously and comparing their relative effects
+// on performance." Each grid point is an independent simulation of the
+// same trace against a modified hierarchy; points run in parallel.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mlcache/internal/cpu"
+	"mlcache/internal/memsys"
+	"mlcache/internal/trace"
+)
+
+// Point identifies one design point of the second-level cache.
+type Point struct {
+	L2SizeBytes int64
+	L2CycleNS   int64
+	L2Assoc     int
+}
+
+// String renders the point compactly.
+func (p Point) String() string {
+	return fmt.Sprintf("L2=%dKB/%dns/%d-way", p.L2SizeBytes/1024, p.L2CycleNS, p.L2Assoc)
+}
+
+// Grid is a cartesian product of L2 design parameters.
+type Grid struct {
+	SizesBytes []int64
+	CyclesNS   []int64
+	Assocs     []int // empty means direct-mapped only
+}
+
+// Points enumerates the grid in size-major order.
+func (g Grid) Points() []Point {
+	assocs := g.Assocs
+	if len(assocs) == 0 {
+		assocs = []int{1}
+	}
+	var pts []Point
+	for _, s := range g.SizesBytes {
+		for _, c := range g.CyclesNS {
+			for _, a := range assocs {
+				pts = append(pts, Point{L2SizeBytes: s, L2CycleNS: c, L2Assoc: a})
+			}
+		}
+	}
+	return pts
+}
+
+// SizesPow2 returns the powers of two from lo to hi KB inclusive, in bytes.
+func SizesPow2(loKB, hiKB int64) []int64 {
+	var out []int64
+	for kb := loKB; kb <= hiKB; kb *= 2 {
+		out = append(out, kb*1024)
+	}
+	return out
+}
+
+// CyclesRange returns cycle times from lo to hi CPU cycles inclusive, in
+// nanoseconds, given the CPU cycle time.
+func CyclesRange(lo, hi int, cpuCycleNS int64) []int64 {
+	var out []int64
+	for c := lo; c <= hi; c++ {
+		out = append(out, int64(c)*cpuCycleNS)
+	}
+	return out
+}
+
+// Runner executes grid points.
+type Runner struct {
+	// Configure builds the hierarchy configuration for a point.
+	Configure func(Point) memsys.Config
+	// Trace returns a fresh stream for a run; it must yield the same
+	// references on every call so that points are comparable.
+	Trace func() trace.Stream
+	CPU   cpu.Config
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Result pairs a point with its simulation outcome.
+type Result struct {
+	Point Point
+	Run   cpu.Result
+}
+
+// Run simulates every point of the grid and returns results in grid order.
+func (r Runner) Run(grid Grid) ([]Result, error) {
+	return r.RunPoints(grid.Points())
+}
+
+// RunPoints simulates the given points and returns results in input order.
+func (r Runner) RunPoints(pts []Point) ([]Result, error) {
+	if r.Configure == nil || r.Trace == nil {
+		return nil, fmt.Errorf("sweep: Runner needs Configure and Trace")
+	}
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(pts) {
+		par = len(pts)
+	}
+	results := make([]Result, len(pts))
+	errs := make([]error, len(pts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, pt := range pts {
+		wg.Add(1)
+		go func(i int, pt Point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			h, err := memsys.New(r.Configure(pt))
+			if err != nil {
+				errs[i] = fmt.Errorf("sweep: point %v: %w", pt, err)
+				return
+			}
+			run, err := cpu.Run(h, r.Trace(), r.CPU)
+			if err != nil {
+				errs[i] = fmt.Errorf("sweep: point %v: %w", pt, err)
+				return
+			}
+			results[i] = Result{Point: pt, Run: run}
+		}(i, pt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RelTimeMatrix arranges results from a size × cycle grid (single
+// associativity) into a matrix indexed [sizeIdx][cycleIdx] of relative
+// execution times.
+func RelTimeMatrix(grid Grid, results []Result) ([][]float64, error) {
+	na := len(grid.Assocs)
+	if na == 0 {
+		na = 1
+	}
+	if na != 1 {
+		return nil, fmt.Errorf("sweep: RelTimeMatrix needs a single-associativity grid, got %d", na)
+	}
+	want := len(grid.SizesBytes) * len(grid.CyclesNS)
+	if len(results) != want {
+		return nil, fmt.Errorf("sweep: %d results for a %d-point grid", len(results), want)
+	}
+	m := make([][]float64, len(grid.SizesBytes))
+	k := 0
+	for i := range grid.SizesBytes {
+		m[i] = make([]float64, len(grid.CyclesNS))
+		for j := range grid.CyclesNS {
+			m[i][j] = results[k].Run.RelTime
+			k++
+		}
+	}
+	return m, nil
+}

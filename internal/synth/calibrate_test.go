@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/trace"
+)
+
+// These calibration tests pin the statistical properties of the default
+// workload that the paper's experiments depend on (see DESIGN.md §2):
+//
+//  1. The solo read miss ratio falls by a near-constant factor per cache
+//     doubling (the paper measures ≈0.69) over the 8 KB–512 KB range.
+//  2. The miss ratio plateaus for very large caches (§4: "the miss rate
+//     reaches a plateau for very large caches").
+//  3. A split 4 KB first level has a global read miss ratio near the
+//     paper's 10% ("the addition of a 4KB L1 cache, with a 10% miss
+//     rate...").
+//
+// They run ~1M references through a bank of probe caches and therefore
+// take a couple of seconds; they are skipped with -short.
+
+func measureSolo(t *testing.T, refs int64, sizesKB []int64, blockBytes, assoc int) []float64 {
+	t.Helper()
+	var probes []*cache.Cache
+	for _, kb := range sizesKB {
+		probes = append(probes, cache.MustNew(cache.Config{
+			Name:       "probe",
+			SizeBytes:  kb * 1024,
+			BlockBytes: blockBytes,
+			Assoc:      assoc,
+			Repl:       cache.LRU,
+			Write:      cache.WriteBack,
+			Alloc:      cache.WriteAllocate,
+		}))
+	}
+	s := PaperStream(1, refs)
+	var n int64
+	warm := refs / 5
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == warm {
+			for _, p := range probes {
+				p.ResetStats()
+			}
+		}
+		for _, p := range probes {
+			p.Access(r.Addr, r.Kind == trace.Store)
+		}
+	}
+	ratios := make([]float64, len(probes))
+	for i, p := range probes {
+		ratios[i] = p.Stats().LocalReadMissRatio()
+	}
+	return ratios
+}
+
+func TestCalibrationMissRatioPowerLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	sizes := []int64{8, 16, 32, 64, 128, 256, 512}
+	ratios := measureSolo(t, 1_200_000, sizes, 32, 1)
+	prod := 1.0
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] <= 0 || ratios[i] >= ratios[i-1] {
+			t.Fatalf("miss ratios not strictly decreasing: %v", ratios)
+		}
+		prod *= ratios[i] / ratios[i-1]
+	}
+	factor := math.Pow(prod, 1/float64(len(ratios)-1))
+	t.Logf("solo miss ratios %v, per-doubling factor %.3f", ratios, factor)
+	if factor < 0.60 || factor > 0.78 {
+		t.Errorf("per-doubling miss reduction = %.3f, want ≈ 0.69 (0.60–0.78)", factor)
+	}
+}
+
+func TestCalibrationLargeCachePlateau(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	sizes := []int64{1024, 2048, 4096}
+	ratios := measureSolo(t, 1_200_000, sizes, 32, 1)
+	t.Logf("large-cache miss ratios %v", ratios)
+	factor := ratios[2] / ratios[1]
+	if factor < 0.80 || factor > 1.01 {
+		t.Errorf("2M->4M factor = %.3f, want near 1 (plateau)", factor)
+	}
+	if ratios[2] <= 0 {
+		t.Error("plateau miss ratio must stay positive (multiprogramming floor)")
+	}
+}
+
+func TestCalibrationSplitL1MissRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	mk := func(name string) *cache.Cache {
+		return cache.MustNew(cache.Config{
+			Name: name, SizeBytes: 2 * 1024, BlockBytes: 16, Assoc: 1,
+			Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+		})
+	}
+	l1i, l1d := mk("L1I"), mk("L1D")
+	const refs = 1_200_000
+	s := PaperStream(1, refs)
+	var n int64
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == refs/5 {
+			l1i.ResetStats()
+			l1d.ResetStats()
+		}
+		if r.Kind == trace.IFetch {
+			l1i.Access(r.Addr, false)
+		} else {
+			l1d.Access(r.Addr, r.Kind == trace.Store)
+		}
+	}
+	si, sd := l1i.Stats(), l1d.Stats()
+	reads := si.ReadRefs + sd.ReadRefs
+	misses := si.ReadMisses + sd.ReadMisses
+	global := float64(misses) / float64(reads)
+	t.Logf("split 4KB L1: I local %.4f, D local %.4f, global read %.4f",
+		si.LocalReadMissRatio(), sd.LocalReadMissRatio(), global)
+	if global < 0.05 || global > 0.16 {
+		t.Errorf("4KB L1 global read miss ratio = %.4f, want ≈ 0.10 (0.05–0.16)", global)
+	}
+}

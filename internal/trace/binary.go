@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary codec is a compact delta-encoded format for large traces:
+//
+//	magic "MLCT" | version byte | records...
+//
+// Each record is one byte of header followed by varints:
+//
+//	header = kind (2 bits) | pidChanged (1 bit) | reserved (5 bits)
+//	zigzag-varint address delta from the previous reference's address
+//	varint pid (only when pidChanged)
+//
+// Sequential instruction streams therefore cost two bytes per reference.
+
+const (
+	binaryMagic   = "MLCT"
+	binaryVersion = 1
+)
+
+// BinaryWriter writes references in the binary format.
+type BinaryWriter struct {
+	w        *bufio.Writer
+	prevAddr uint64
+	prevPID  uint16
+	started  bool
+	n        int64
+	err      error
+}
+
+// NewBinaryWriter returns a BinaryWriter emitting to w. The header is
+// written lazily on the first Write so that constructing a writer never
+// fails.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriter(w)}
+}
+
+// Write emits one reference.
+func (b *BinaryWriter) Write(r Ref) error {
+	if b.err != nil {
+		return b.err
+	}
+	if !r.Kind.Valid() {
+		b.err = fmt.Errorf("trace: cannot encode invalid kind %d", r.Kind)
+		return b.err
+	}
+	if !b.started {
+		b.started = true
+		if _, b.err = b.w.WriteString(binaryMagic); b.err != nil {
+			return b.err
+		}
+		if b.err = b.w.WriteByte(binaryVersion); b.err != nil {
+			return b.err
+		}
+	}
+	header := byte(r.Kind)
+	if r.PID != b.prevPID {
+		header |= 1 << 2
+	}
+	if b.err = b.w.WriteByte(header); b.err != nil {
+		return b.err
+	}
+	delta := int64(r.Addr - b.prevAddr) // two's-complement wraparound delta
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], delta)
+	if _, b.err = b.w.Write(buf[:n]); b.err != nil {
+		return b.err
+	}
+	if r.PID != b.prevPID {
+		n = binary.PutUvarint(buf[:], uint64(r.PID))
+		if _, b.err = b.w.Write(buf[:n]); b.err != nil {
+			return b.err
+		}
+		b.prevPID = r.PID
+	}
+	b.prevAddr = r.Addr
+	b.n++
+	return nil
+}
+
+// Flush flushes buffered output, writing the header even for empty traces.
+func (b *BinaryWriter) Flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	if !b.started {
+		b.started = true
+		if _, b.err = b.w.WriteString(binaryMagic); b.err != nil {
+			return b.err
+		}
+		if b.err = b.w.WriteByte(binaryVersion); b.err != nil {
+			return b.err
+		}
+	}
+	b.err = b.w.Flush()
+	return b.err
+}
+
+// Count returns the number of references written so far.
+func (b *BinaryWriter) Count() int64 { return b.n }
+
+// BinaryReader reads references in the binary format. It implements Stream.
+type BinaryReader struct {
+	r        *bufio.Reader
+	prevAddr uint64
+	prevPID  uint16
+	started  bool
+}
+
+// NewBinaryReader returns a BinaryReader consuming from r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReader(r)}
+}
+
+func (b *BinaryReader) readHeader() error {
+	var magic [5]byte
+	if _, err := io.ReadFull(b.r, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("trace: short binary header (%w)", ErrCorrupt)
+		}
+		return err
+	}
+	if string(magic[:4]) != binaryMagic {
+		return fmt.Errorf("trace: bad magic %q (%w)", magic[:4], ErrCorrupt)
+	}
+	if magic[4] != binaryVersion {
+		return fmt.Errorf("trace: unsupported version %d (%w)", magic[4], ErrCorrupt)
+	}
+	return nil
+}
+
+// Next returns the next reference, or io.EOF at end of input.
+func (b *BinaryReader) Next() (Ref, error) {
+	if !b.started {
+		if err := b.readHeader(); err != nil {
+			return Ref{}, err
+		}
+		b.started = true
+	}
+	header, err := b.r.ReadByte()
+	if err == io.EOF {
+		return Ref{}, io.EOF
+	}
+	if err != nil {
+		return Ref{}, err
+	}
+	kind := Kind(header & 0x3)
+	if !kind.Valid() {
+		return Ref{}, fmt.Errorf("trace: invalid kind bits %d (%w)", header&0x3, ErrCorrupt)
+	}
+	delta, err := binary.ReadVarint(b.r)
+	if err != nil {
+		return Ref{}, truncated(err)
+	}
+	b.prevAddr += uint64(delta)
+	if header&(1<<2) != 0 {
+		pid, err := binary.ReadUvarint(b.r)
+		if err != nil {
+			return Ref{}, truncated(err)
+		}
+		if pid > 0xFFFF {
+			return Ref{}, fmt.Errorf("trace: pid %d out of range (%w)", pid, ErrCorrupt)
+		}
+		b.prevPID = uint16(pid)
+	}
+	return Ref{Kind: kind, Addr: b.prevAddr, PID: b.prevPID}, nil
+}
+
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("trace: truncated record (%w)", ErrCorrupt)
+	}
+	return err
+}

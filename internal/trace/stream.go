@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Limit returns a stream that yields at most n references from s.
+func Limit(s Stream, n int64) Stream { return &limitStream{s: s, left: n} }
+
+type limitStream struct {
+	s    Stream
+	left int64
+}
+
+func (l *limitStream) Next() (Ref, error) {
+	if l.left <= 0 {
+		return Ref{}, io.EOF
+	}
+	l.left--
+	return l.s.Next()
+}
+
+// Skip returns a stream that discards the first n references of s. The
+// discard happens lazily on the first Next call so construction is cheap.
+func Skip(s Stream, n int64) Stream { return &skipStream{s: s, skip: n} }
+
+type skipStream struct {
+	s    Stream
+	skip int64
+}
+
+func (k *skipStream) Next() (Ref, error) {
+	for k.skip > 0 {
+		k.skip--
+		if _, err := k.s.Next(); err != nil {
+			return Ref{}, err
+		}
+	}
+	return k.s.Next()
+}
+
+// Filter returns a stream yielding only references for which keep returns
+// true.
+func Filter(s Stream, keep func(Ref) bool) Stream {
+	return &filterStream{s: s, keep: keep}
+}
+
+type filterStream struct {
+	s    Stream
+	keep func(Ref) bool
+}
+
+func (f *filterStream) Next() (Ref, error) {
+	for {
+		r, err := f.s.Next()
+		if err != nil {
+			return Ref{}, err
+		}
+		if f.keep(r) {
+			return r, nil
+		}
+	}
+}
+
+// Concat returns a stream that yields all references of each input stream
+// in order, moving to the next stream when the current one is exhausted.
+func Concat(streams ...Stream) Stream { return &concatStream{streams: streams} }
+
+type concatStream struct {
+	streams []Stream
+}
+
+func (c *concatStream) Next() (Ref, error) {
+	for len(c.streams) > 0 {
+		r, err := c.streams[0].Next()
+		if err == io.EOF {
+			c.streams = c.streams[1:]
+			continue
+		}
+		return r, err
+	}
+	return Ref{}, io.EOF
+}
+
+// RoundRobin interleaves streams in fixed-size quanta: it yields quantum
+// references from stream 0, then quantum from stream 1, and so on, skipping
+// exhausted streams. It models deterministic multiprogramming time-slicing.
+// RoundRobin panics if quantum < 1.
+func RoundRobin(quantum int, streams ...Stream) Stream {
+	if quantum < 1 {
+		panic(fmt.Sprintf("trace: RoundRobin quantum %d < 1", quantum))
+	}
+	return &rrStream{streams: streams, quantum: quantum, left: quantum}
+}
+
+type rrStream struct {
+	streams []Stream
+	quantum int
+	cur     int
+	left    int
+}
+
+func (r *rrStream) Next() (Ref, error) {
+	for len(r.streams) > 0 {
+		if r.left == 0 {
+			r.advance()
+		}
+		ref, err := r.streams[r.cur].Next()
+		if err == io.EOF {
+			r.remove(r.cur)
+			continue
+		}
+		if err != nil {
+			return Ref{}, err
+		}
+		r.left--
+		return ref, nil
+	}
+	return Ref{}, io.EOF
+}
+
+func (r *rrStream) advance() {
+	r.cur = (r.cur + 1) % len(r.streams)
+	r.left = r.quantum
+}
+
+func (r *rrStream) remove(i int) {
+	r.streams = append(r.streams[:i], r.streams[i+1:]...)
+	if len(r.streams) == 0 {
+		return
+	}
+	r.cur = i % len(r.streams)
+	r.left = r.quantum
+}
+
+// Func adapts a function to the Stream interface.
+type Func func() (Ref, error)
+
+// Next calls f.
+func (f Func) Next() (Ref, error) { return f() }
+
+// Peeker wraps a stream with one-reference lookahead, used by the CPU model
+// to decide whether a data reference shares the cycle of the preceding
+// instruction fetch.
+type Peeker struct {
+	s      Stream
+	have   bool
+	buf    Ref
+	buferr error
+}
+
+// NewPeeker returns a Peeker reading from s.
+func NewPeeker(s Stream) *Peeker { return &Peeker{s: s} }
+
+// Peek returns the next reference without consuming it.
+func (p *Peeker) Peek() (Ref, error) {
+	if !p.have {
+		p.buf, p.buferr = p.s.Next()
+		p.have = true
+	}
+	return p.buf, p.buferr
+}
+
+// Next returns the next reference, consuming it.
+func (p *Peeker) Next() (Ref, error) {
+	if p.have {
+		p.have = false
+		return p.buf, p.buferr
+	}
+	return p.s.Next()
+}
