@@ -38,6 +38,8 @@ func main() {
 		n         = flag.Int64("n", 2_000_000, "references to simulate (with -synth, or as a cap on -trace)")
 		seed      = flag.Int64("seed", 1, "synthetic workload seed")
 		warmup    = flag.Int64("warmup", -1, "warm-up references excluded from statistics (-1 = 20%)")
+		lenient   = flag.Int("lenient", 0, "skip up to N corrupt trace records (-1 = unlimited, 0 = strict)")
+		check     = flag.Bool("check", false, "validate cache-state invariants after every access (slow)")
 	)
 	flag.Parse()
 
@@ -57,12 +59,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.CheckInvariants = *check
 	h, err := memsys.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	var s trace.Stream
+	var skips func() int64
 	if *useSynth {
 		s = synth.PaperStream(*seed, *n)
 	} else {
@@ -76,6 +80,13 @@ func main() {
 		} else {
 			s = trace.NewTextReader(tf)
 		}
+		if *lenient != 0 {
+			ls := trace.Lenient(s, *lenient)
+			s = ls
+			if sk, ok := ls.(interface{ Skips() int64 }); ok {
+				skips = sk.Skips
+			}
+		}
 		if *n > 0 {
 			s = trace.Limit(s, *n)
 		}
@@ -88,6 +99,9 @@ func main() {
 	res, err := cpu.Run(h, s, cpu.Config{CycleNS: cfg.CPUCycleNS, WarmupRefs: w})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if skips != nil && skips() > 0 {
+		log.Printf("warning: skipped %d corrupt trace record(s); addresses after a skip may be offset", skips())
 	}
 
 	printResult(res, cfg)

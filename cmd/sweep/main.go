@@ -3,20 +3,35 @@
 // CSV of relative execution times and miss ratios, for exploring design
 // points beyond the paper's figures.
 //
+// Sweeps are fault-tolerant: points run on a worker pool, a panic or error
+// in one simulation fails only that point, and with -checkpoint the
+// completed points are journaled so an interrupted run (Ctrl-C, crash,
+// timeout) can continue where it left off with -resume.
+//
 // Usage:
 //
 //	sweep -sizes 16-4096 -cycles 1-10 -assoc 1 -n 1000000
 //	sweep -sizes 64-1024 -cycles 2-6 -assoc 2 -l1 32 -csv > out.csv
+//	sweep -sizes 16-4096 -cycles 1-10 -checkpoint run.ckpt
+//	sweep -sizes 16-4096 -cycles 1-10 -checkpoint run.ckpt -resume
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
+	"mlcache/internal/checkpoint"
+	"mlcache/internal/cpu"
 	"mlcache/internal/experiments"
 	"mlcache/internal/mainmem"
 	"mlcache/internal/memsys"
@@ -36,6 +51,13 @@ func main() {
 		n         = flag.Int64("n", 1_000_000, "trace length in references")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
+
+		par      = flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		ckptPath = flag.String("checkpoint", "", "journal completed points to this file")
+		resume   = flag.Bool("resume", false, "skip points already journaled in -checkpoint")
+		timeout  = flag.Duration("point-timeout", 0, "per-point simulation timeout (0 = none)")
+		retries  = flag.Int("retries", 0, "extra attempts for a failed point")
+		check    = flag.Bool("check", false, "validate cache-state invariants after every access (slow)")
 	)
 	flag.Parse()
 
@@ -47,6 +69,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -cycles: %v", err)
 	}
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume needs -checkpoint")
+	}
+
+	// SIGINT/SIGTERM cancel the sweep; in-flight points stop at the next
+	// stream check and completed work is kept (and journaled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	mem := mainmem.Base()
 	if *slow {
@@ -59,8 +89,10 @@ func main() {
 	}
 	runner := sweep.Runner{
 		Configure: func(pt sweep.Point) memsys.Config {
-			return experiments.BaseMachine(*l1,
+			cfg := experiments.BaseMachine(*l1,
 				experiments.L2Config(pt.L2SizeBytes, pt.L2CycleNS, pt.L2Assoc), mem)
+			cfg.CheckInvariants = *check
+			return cfg
 		},
 		Trace: opt.Stream,
 		CPU:   opt.CPU(),
@@ -71,13 +103,94 @@ func main() {
 			pts = append(pts, sweep.Point{L2SizeBytes: s, L2CycleNS: c, L2Assoc: *assoc})
 		}
 	}
-	results, err := runner.RunPoints(pts)
-	if err != nil {
-		log.Fatal(err)
+
+	// Salvage prior results and open the journal.
+	prior := map[string]cpu.Result{}
+	if *resume {
+		set, err := checkpoint.Load(*ckptPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("checkpoint %s not found; starting fresh", *ckptPath)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			for key, raw := range set.Records {
+				var run cpu.Result
+				if err := json.Unmarshal(raw, &run); err != nil {
+					log.Printf("checkpoint: record %s unreadable, will re-simulate: %v", key, err)
+					continue
+				}
+				prior[key] = run
+			}
+			if set.Dropped > 0 {
+				log.Printf("checkpoint: dropped %d corrupt record(s)", set.Dropped)
+			}
+			log.Printf("resuming: %d of %d points already simulated", len(prior), len(pts))
+		}
+	}
+	var journal *checkpoint.Journal
+	if *ckptPath != "" {
+		journal, err = checkpoint.Open(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
 	}
 
-	t := report.NewTable("L2KB", "cycles", "assoc", "reltime", "CPI", "L2local", "L2global")
+	opts := sweep.Options{
+		Parallelism:  *par,
+		PointTimeout: *timeout,
+		Retries:      *retries,
+		Backoff:      200 * time.Millisecond,
+	}
+	if len(prior) > 0 {
+		opts.Skip = func(pt sweep.Point) bool {
+			_, ok := prior[pt.String()]
+			return ok
+		}
+	}
+	if journal != nil {
+		opts.OnResult = func(res sweep.Result) {
+			if err := journal.Append(res.Point.String(), res.Run); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
+		}
+	}
+
+	results, runErr := runner.RunContext(ctx, pts, opts)
+	stop() // restore default signal handling while reporting
+
+	// Fill skipped points from the journal so the report covers the whole
+	// grid, and split out the failures.
+	var done, failed int
+	for i := range results {
+		if results[i].Skipped {
+			results[i].Run = prior[results[i].Point.String()]
+			done++
+			continue
+		}
+		if results[i].Err != nil {
+			failed++
+			continue
+		}
+		done++
+	}
+
+	t := report.NewTable("L2KB", "cycles", "assoc", "reltime", "CPI", "L2local", "L2global", "status")
 	for _, r := range results {
+		status := "ok"
+		if r.Skipped {
+			status = "ckpt"
+		}
+		if r.Err != nil {
+			t.AddRow(
+				report.SizeLabel(r.Point.L2SizeBytes),
+				strconv.FormatInt(r.Point.L2CycleNS/experiments.CPUCycleNS, 10),
+				strconv.Itoa(r.Point.L2Assoc),
+				"-", "-", "-", "-", "FAILED",
+			)
+			continue
+		}
 		l2 := r.Run.Mem.Down[0]
 		t.AddRow(
 			report.SizeLabel(r.Point.L2SizeBytes),
@@ -87,6 +200,7 @@ func main() {
 			fmt.Sprintf("%.4f", r.Run.CPI),
 			report.Ratio(l2.LocalReadMissRatio()),
 			report.Ratio(l2.GlobalReadMissRatio(r.Run.CPUReads)),
+			status,
 		)
 	}
 	if *csv {
@@ -96,6 +210,29 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	for _, r := range results {
+		// On interrupt, skip the flood of "context canceled" lines for the
+		// points that never ran; per-point failures (including timeouts)
+		// are always itemized.
+		if r.Err != nil && !(runErr != nil && sweep.Canceled(r.Err)) {
+			log.Printf("point %v failed after %d attempt(s): %v", r.Point, r.Attempts, r.Err)
+		}
+	}
+	switch {
+	case runErr != nil:
+		msg := fmt.Sprintf("interrupted: %d of %d points done", done, len(pts))
+		if *ckptPath != "" {
+			msg += "; rerun with -resume to continue"
+		} else {
+			msg += "; use -checkpoint to make sweeps resumable"
+		}
+		log.Print(msg)
+		os.Exit(1)
+	case failed > 0:
+		log.Printf("%d of %d points failed", failed, len(pts))
+		os.Exit(1)
 	}
 }
 

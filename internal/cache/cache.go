@@ -233,6 +233,13 @@ type Cache struct {
 	rng        *rand.Rand
 	stats      Stats
 	recording  bool
+	// dirtyMade and dirtyDropped are functional (never gated on recording)
+	// counters of clean→dirty transitions and of dirty lines leaving the
+	// cache (eviction, invalidation, flush). CheckIntegrity balances them
+	// against the resident dirty population: a leak on either side means a
+	// lost or duplicated writeback.
+	dirtyMade    int64
+	dirtyDropped int64
 }
 
 // New constructs a cache from a validated configuration.
@@ -400,7 +407,7 @@ func (c *Cache) access(addr uint64, isWrite, record bool) Result {
 			res.Hit = true
 			if isWrite {
 				if c.cfg.Write == WriteBack {
-					set[i].dirty = true
+					c.markDirty(&set[i])
 				} else {
 					res.WriteDown = true
 				}
@@ -417,7 +424,7 @@ func (c *Cache) access(addr uint64, isWrite, record bool) Result {
 		res := Result{Fill: true, Partial: true}
 		if isWrite {
 			if c.cfg.Write == WriteBack {
-				set[i].dirty = true
+				c.markDirty(&set[i])
 			} else {
 				res.WriteDown = true
 			}
@@ -439,16 +446,21 @@ func (c *Cache) access(addr uint64, isWrite, record bool) Result {
 	if set[victim].valid() && set[victim].dirty {
 		res.Writeback = true
 		res.VictimAddr = set[victim].tag << c.blockBits
+		c.dirtyDropped++
 		// Writebacks are functional events rather than a read/write
 		// classification, so they are counted even for quiet accesses.
 		if c.recording {
 			c.stats.Writebacks++
 		}
 	}
+	dirty := isWrite && c.cfg.Write == WriteBack
+	if dirty {
+		c.dirtyMade++
+	}
 	set[victim] = line{
 		tag:       tag,
 		validMask: mask,
-		dirty:     isWrite && c.cfg.Write == WriteBack,
+		dirty:     dirty,
 		lastUse:   c.clock,
 		fillTime:  c.clock,
 	}
@@ -510,6 +522,9 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	for i := range set {
 		if set[i].valid() && set[i].tag == tag {
 			present, dirty = true, set[i].dirty
+			if dirty {
+				c.dirtyDropped++
+			}
 			set[i] = line{}
 			if c.recording {
 				c.stats.Invalidates++
@@ -529,6 +544,7 @@ func (c *Cache) Flush() []uint64 {
 			l := &c.sets[si][wi]
 			if l.valid() && l.dirty {
 				dirty = append(dirty, l.tag<<c.blockBits)
+				c.dirtyDropped++
 			}
 			*l = line{}
 		}

@@ -1,0 +1,231 @@
+// Package checkpoint journals completed units of work to an append-only
+// JSON-lines file so that a long simulation campaign interrupted by a crash
+// or SIGINT can resume without repeating finished work. The sweep driver
+// journals one record per completed grid point; on restart it loads the
+// journal and skips every point already present.
+//
+// File format (one JSON value per line):
+//
+//	{"format":"mlcache-checkpoint","version":1}     <- header, first line
+//	{"key":"...","crc":1234567890,"data":{...}}     <- one record per line
+//
+// The crc field is the IEEE CRC-32 of the key bytes, a zero byte, and the
+// raw data bytes, so a record corrupted on disk (or torn by a crash mid
+// write) is detected and dropped on load rather than poisoning the resume.
+// Records are fsynced as they are appended; the header is fsynced before
+// the first record so a journal is never seen without its version line.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Format identifies the journal file format; Version is bumped on any
+// incompatible change to the record layout.
+const (
+	Format  = "mlcache-checkpoint"
+	Version = 1
+)
+
+type header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+type record struct {
+	Key  string          `json:"key"`
+	CRC  uint32          `json:"crc"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+func recordCRC(key string, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	h.Write(data)
+	return h.Sum32()
+}
+
+// Journal is an open checkpoint file being appended to. It is safe for use
+// from a single goroutine; callers that journal from several workers must
+// serialize Append themselves.
+type Journal struct {
+	f    *os.File
+	path string
+	err  error
+}
+
+// Open opens (or creates) the journal at path for appending. A fresh or
+// empty file gets the version header; an existing file is validated so that
+// records of an incompatible version are never mixed.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if st.Size() == 0 {
+		hdr, _ := json.Marshal(header{Format: Format, Version: Version})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	// Existing journal: check the header without disturbing the append
+	// offset (reads use ReadAt).
+	if err := checkHeader(io.NewSectionReader(f, 0, st.Size())); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return j, nil
+}
+
+func checkHeader(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("missing header line")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return fmt.Errorf("bad header: %v", err)
+	}
+	if h.Format != Format {
+		return fmt.Errorf("not a checkpoint file (format %q)", h.Format)
+	}
+	if h.Version != Version {
+		return fmt.Errorf("unsupported checkpoint version %d (want %d)", h.Version, Version)
+	}
+	return nil
+}
+
+// Append journals one completed unit: key identifies it (and is what resume
+// matches on), data is any JSON-serializable payload stored alongside. The
+// record is flushed and fsynced before Append returns, so a record is
+// either durably complete or detectably torn.
+func (j *Journal) Append(key string, data any) error {
+	if j.err != nil {
+		return j.err
+	}
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			return fmt.Errorf("checkpoint: marshal %q: %w", key, err)
+		}
+		raw = b
+	}
+	rec := record{Key: key, CRC: recordCRC(key, raw), Data: raw}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %q: %w", key, err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = err
+		return err
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Set is the loaded contents of a journal: the data payload of every intact
+// record, keyed by record key, plus counts describing what was dropped. A
+// key journaled more than once keeps its last intact record.
+type Set struct {
+	Records map[string]json.RawMessage
+	// Dropped counts lines discarded for a bad CRC, malformed JSON, or a
+	// torn tail — expected after a crash, never silently ignored.
+	Dropped int
+}
+
+// Len returns the number of intact records.
+func (s Set) Len() int { return len(s.Records) }
+
+// Has reports whether an intact record with the key exists.
+func (s Set) Has(key string) bool {
+	_, ok := s.Records[key]
+	return ok
+}
+
+// Load reads a journal, validating the header and each record's CRC.
+// Corrupt or torn record lines are counted in Set.Dropped and skipped; a
+// missing or wrong-version header is an error, because silently resuming
+// from an incompatible journal would repeat or lose work.
+func Load(path string) (Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Set{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read is Load over any reader.
+func Read(r io.Reader) (Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Set{}, err
+		}
+		return Set{}, fmt.Errorf("checkpoint: missing header line")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return Set{}, fmt.Errorf("checkpoint: bad header: %v", err)
+	}
+	if h.Format != Format {
+		return Set{}, fmt.Errorf("checkpoint: not a checkpoint file (format %q)", h.Format)
+	}
+	if h.Version != Version {
+		return Set{}, fmt.Errorf("checkpoint: unsupported version %d (want %d)", h.Version, Version)
+	}
+	set := Set{Records: map[string]json.RawMessage{}}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			set.Dropped++
+			continue
+		}
+		if rec.CRC != recordCRC(rec.Key, rec.Data) {
+			set.Dropped++
+			continue
+		}
+		set.Records[rec.Key] = rec.Data
+	}
+	if err := sc.Err(); err != nil {
+		return set, err
+	}
+	return set, nil
+}

@@ -256,6 +256,13 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 				warmLeft = 0
 			}
 		}
+
+		// With memsys.Config.CheckInvariants on, a violated cache-state
+		// invariant stops the run within one issue slot; otherwise this is
+		// a nil check.
+		if err := h.InvariantErr(); err != nil {
+			return res, err
+		}
 	}
 
 	res.TimeNS = now - startNS

@@ -1,0 +1,108 @@
+package memsys
+
+import (
+	"errors"
+	"fmt"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/wbuf"
+)
+
+// InvariantError reports a violated hierarchy invariant: which level (or
+// hierarchy-wide component) broke, which property, and the detail. It is
+// produced only when Config.CheckInvariants is on and is latched — the
+// first violation is kept even if later accesses would trip more.
+type InvariantError struct {
+	Level    string // "L1I", "L2", "TLB", "membuf", "hierarchy", ...
+	Property string // "duplicate-tag", "time-monotonic", "wbuf-occupancy", ...
+	Detail   string
+	TimeNS   int64 // simulation time of the access that tripped the check
+}
+
+// Error formats the violation.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("memsys: invariant %s/%s violated at t=%dns: %s",
+		e.Level, e.Property, e.TimeNS, e.Detail)
+}
+
+// InvariantErr returns the first invariant violation observed, or nil. The
+// CPU loop polls it once per issue slot so a corrupted simulation stops
+// within one reference instead of producing plausible-looking garbage.
+func (h *Hierarchy) InvariantErr() error { return h.invErr }
+
+// CheckInvariants runs the full invariant sweep immediately, regardless of
+// the config flag, and returns the first violation. Useful at end of run.
+func (h *Hierarchy) CheckInvariants(now int64) error {
+	if h.invErr != nil {
+		return h.invErr
+	}
+	h.verifyState(now)
+	return h.invErr
+}
+
+func (h *Hierarchy) fail(level, property, detail string, now int64) {
+	if h.invErr == nil {
+		h.invErr = &InvariantError{Level: level, Property: property, Detail: detail, TimeNS: now}
+	}
+}
+
+// verifyAccess brackets one Access when checking is on: `now` must never
+// move backwards across calls (the CPU presents references in time order)
+// and the completion time handed back must never precede the request.
+func (h *Hierarchy) verifyAccess(now, done int64) {
+	if now < h.lastNow {
+		h.fail("hierarchy", "time-monotonic",
+			fmt.Sprintf("access at t=%d after one at t=%d", now, h.lastNow), now)
+	}
+	h.lastNow = now
+	if done < now {
+		h.fail("hierarchy", "time-monotonic",
+			fmt.Sprintf("access completed at t=%d before it began at t=%d", done, now), now)
+	}
+	h.verifyState(done)
+}
+
+// verifyState sweeps every cache's structural invariants and every write
+// buffer's occupancy bound. O(total cache size) — strictly an opt-in
+// debugging mode (Config.CheckInvariants).
+func (h *Hierarchy) verifyState(now int64) {
+	if h.invErr != nil {
+		return
+	}
+	check := func(name string, c *cache.Cache) {
+		if h.invErr != nil || c == nil {
+			return
+		}
+		if err := c.CheckIntegrity(); err != nil {
+			var ie *cache.IntegrityError
+			if errors.As(err, &ie) {
+				h.fail(name, ie.Property, ie.Detail, now)
+				return
+			}
+			h.fail(name, "integrity", err.Error(), now)
+		}
+	}
+	for _, fl := range []*firstLevel{h.l1i, h.l1d, h.l1} {
+		if fl != nil {
+			check(fl.cfg.Cache.Name, fl.cache)
+		}
+	}
+	for _, lvl := range h.down {
+		check(lvl.cfg.Cache.Name, lvl.cache)
+		h.checkBuf(lvl.cfg.Cache.Name+"-inbuf", lvl.inBuf, now)
+	}
+	if h.tlb != nil {
+		check("TLB", h.tlb.cache)
+	}
+	h.checkBuf("membuf", h.memBuf, now)
+}
+
+func (h *Hierarchy) checkBuf(name string, b *wbuf.Buffer, now int64) {
+	if h.invErr != nil || b == nil {
+		return
+	}
+	if b.Len() > b.Depth() {
+		h.fail(name, "wbuf-occupancy",
+			fmt.Sprintf("%d entries buffered, capacity %d", b.Len(), b.Depth()), now)
+	}
+}

@@ -1,0 +1,131 @@
+package memsys
+
+import (
+	"errors"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/trace"
+)
+
+func checkedConfig() Config {
+	lvl := func(name string, kb int64, cyc int64, w cache.WritePolicy) LevelConfig {
+		return LevelConfig{
+			Cache: cache.Config{
+				Name: name, SizeBytes: kb * 1024, BlockBytes: 16, Assoc: 2,
+				Repl: cache.LRU, Write: w, Alloc: cache.WriteAllocate,
+			},
+			CycleNS: cyc,
+		}
+	}
+	cfg := Config{
+		CPUCycleNS: 10,
+		SplitL1:    true,
+		L1I:        lvl("L1I", 2, 10, cache.WriteThrough),
+		L1D:        lvl("L1D", 2, 10, cache.WriteBack),
+		Down: []LevelConfig{func() LevelConfig {
+			l := lvl("L2", 64, 30, cache.WriteBack)
+			l.Cache.BlockBytes = 32
+			return l
+		}()},
+		Memory:          mainmem.Base(),
+		CheckInvariants: true,
+	}
+	return cfg
+}
+
+// drive pushes a deterministic mixed reference pattern through h,
+// beginning at time start, and returns the finish time.
+func driveFrom(t *testing.T, h *Hierarchy, n int, start int64) int64 {
+	t.Helper()
+	now := start
+	for i := 0; i < n; i++ {
+		k := trace.IFetch
+		switch i % 5 {
+		case 1, 3:
+			k = trace.Load
+		case 4:
+			k = trace.Store
+		}
+		addr := uint64((i*137 + i*i*13) % (512 * 1024))
+		now += 10
+		now = h.Access(trace.Ref{Kind: k, Addr: addr}, now)
+		if err := h.InvariantErr(); err != nil {
+			t.Fatalf("ref %d: %v", i, err)
+		}
+	}
+	return now
+}
+
+func TestInvariantsHoldOnCleanRun(t *testing.T) {
+	h := MustNew(checkedConfig())
+	now := driveFrom(t, h, 20000, 0)
+	if err := h.CheckInvariants(now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsHoldWithFlushAndTLB(t *testing.T) {
+	cfg := checkedConfig()
+	cfg.TLB = TLBConfig{Entries: 16}
+	h := MustNew(cfg)
+	var now int64
+	for round := 0; round < 5; round++ {
+		now = driveFrom(t, h, 3000, now)
+		now = h.FlushFirstLevels(now)
+		if err := h.CheckInvariants(now); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func TestInvariantTimeMonotonic(t *testing.T) {
+	h := MustNew(checkedConfig())
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 64}, 1000)
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 128}, 500) // time moved backwards
+	err := h.InvariantErr()
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InvariantError", err)
+	}
+	if ie.Property != "time-monotonic" || ie.Level != "hierarchy" {
+		t.Errorf("violation = %s/%s, want hierarchy/time-monotonic", ie.Level, ie.Property)
+	}
+}
+
+func TestInvariantErrLatches(t *testing.T) {
+	h := MustNew(checkedConfig())
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 64}, 1000)
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 128}, 500)
+	first := h.InvariantErr()
+	if first == nil {
+		t.Fatal("no violation recorded")
+	}
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 256}, 100)
+	if got := h.InvariantErr(); got != first {
+		t.Errorf("latched error changed: %v -> %v", first, got)
+	}
+}
+
+func TestInvariantsOffByDefault(t *testing.T) {
+	cfg := checkedConfig()
+	cfg.CheckInvariants = false
+	h := MustNew(cfg)
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 64}, 1000)
+	h.Access(trace.Ref{Kind: trace.Load, Addr: 128}, 500)
+	if err := h.InvariantErr(); err != nil {
+		t.Errorf("checks ran while disabled: %v", err)
+	}
+}
+
+func TestCheckInvariantsExplicitSweep(t *testing.T) {
+	cfg := checkedConfig()
+	cfg.CheckInvariants = false // even with the per-access hook off...
+	h := MustNew(cfg)
+	driveFrom(t, h, 2000, 0)
+	// ...an explicit end-of-run sweep still validates state.
+	if err := h.CheckInvariants(12345); err != nil {
+		t.Fatal(err)
+	}
+}

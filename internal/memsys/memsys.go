@@ -107,6 +107,15 @@ type Config struct {
 	TLB TLBConfig
 
 	Memory mainmem.Config
+
+	// CheckInvariants enables the runtime invariant checker: after every
+	// access the hierarchy validates cache-state invariants (no duplicate
+	// tags, LRU well-formedness, dirty-block accounting, write-buffer
+	// occupancy, monotone time) and latches the first violation as an
+	// *InvariantError, surfaced through Hierarchy.InvariantErr and the CPU
+	// loop. The sweep is O(total cache size) per access — a debugging and
+	// validation mode, off by default.
+	CheckInvariants bool
 }
 
 func (c Config) wbDepth() int {
@@ -243,6 +252,12 @@ type Hierarchy struct {
 	// unit (demand fetches from memory move regions of this size).
 	deepBlockBytes int
 	deepFetchBytes int
+
+	// checks mirrors cfg.CheckInvariants; invErr latches the first
+	// violation; lastNow tracks access-time monotonicity.
+	checks  bool
+	invErr  error
+	lastNow int64
 }
 
 // New constructs a hierarchy from a validated configuration.
@@ -319,6 +334,7 @@ func New(cfg Config) (*Hierarchy, error) {
 	h.memBuf = wbuf.MustNew(depth, &memSink{h: h})
 	h.memBuf.SetCoalescing(cfg.WBCoalesce)
 
+	h.checks = cfg.CheckInvariants
 	h.SetRecording(true)
 	return h, nil
 }
@@ -368,6 +384,15 @@ func (h *Hierarchy) route(k trace.Kind) *firstLevel {
 // the CPU cycle issuing it) and returns the time at which the CPU may
 // proceed. The base CPU cycle is charged by the caller.
 func (h *Hierarchy) Access(r trace.Ref, now int64) int64 {
+	if !h.checks {
+		return h.access(r, now)
+	}
+	done := h.access(r, now)
+	h.verifyAccess(now, done)
+	return done
+}
+
+func (h *Hierarchy) access(r trace.Ref, now int64) int64 {
 	now = h.translate(r.Addr, now)
 	fl := h.route(r.Kind)
 	if r.Kind == trace.Store {

@@ -1,0 +1,226 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mlcache/internal/cpu"
+	"mlcache/internal/memsys"
+	"mlcache/internal/trace"
+)
+
+// Options tunes the fault-tolerant sweep engine.
+type Options struct {
+	// Parallelism bounds concurrent simulations; <= 0 means the Runner's
+	// Parallelism, falling back to GOMAXPROCS.
+	Parallelism int
+	// PointTimeout bounds one simulation attempt; 0 means no limit. A
+	// point that exceeds it fails with context.DeadlineExceeded (wrapped
+	// in its Result.Err) without disturbing the rest of the grid.
+	PointTimeout time.Duration
+	// Retries is the number of extra attempts for a failed point. Grid
+	// cancellation is never retried; everything else (including panics,
+	// which may be environmental) is, up to this budget.
+	Retries int
+	// Backoff is the wait before the first retry, doubling per attempt.
+	Backoff time.Duration
+	// Skip, when non-nil, is consulted before simulating a point; true
+	// marks the point's Result as Skipped without running it. The resume
+	// path uses this to avoid re-simulating journaled points.
+	Skip func(Point) bool
+	// OnResult, when non-nil, is called once per completed (non-skipped)
+	// point as soon as it finishes, in completion order. Calls are
+	// serialized; the checkpoint journal hangs off this hook.
+	OnResult func(Result)
+}
+
+// PanicError is a panic inside one point's simulation, converted into an
+// ordinary per-point error so one faulty configuration cannot take down the
+// whole sweep.
+type PanicError struct {
+	Point Point
+	Value any
+	Stack []byte
+}
+
+// Error describes the panic; the captured stack is in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: point %v panicked: %v", e.Point, e.Value)
+}
+
+// RunContext simulates the given points on a worker pool and returns a
+// result for every point, in input order, even when some fail. Per-point
+// outcomes land in Result.Err rather than aborting the grid: a panic, an
+// invalid configuration, or a timeout marks only its own point failed.
+// Cancelling ctx (e.g. on SIGINT via signal.NotifyContext) stops workers at
+// the next reference-stream check and returns the completed prefix — the
+// partial results are valid and, with Options.OnResult journaling them,
+// resumable. The returned error is nil unless ctx was cancelled.
+func (r Runner) RunContext(ctx context.Context, pts []Point, opts Options) ([]Result, error) {
+	if r.Configure == nil || r.Trace == nil {
+		return nil, fmt.Errorf("sweep: Runner needs Configure and Trace")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = r.Parallelism
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(pts) {
+		par = len(pts)
+	}
+	if par < 1 {
+		par = 1
+	}
+
+	results := make([]Result, len(pts))
+	for i, pt := range pts {
+		results[i] = Result{Point: pt}
+	}
+
+	jobs := make(chan int)
+	var onResultMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := &results[i]
+				if opts.Skip != nil && opts.Skip(res.Point) {
+					res.Skipped = true
+					continue
+				}
+				r.runPoint(ctx, opts, res)
+				if res.Err == nil && opts.OnResult != nil {
+					onResultMu.Lock()
+					opts.OnResult(*res)
+					onResultMu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range pts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Points never attempted inherit the cancellation error so the
+		// caller can tell "not run" from "ran and succeeded".
+		for i := range results {
+			if results[i].Attempts == 0 && !results[i].Skipped {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runPoint executes one point with the retry budget, filling res in place.
+func (r Runner) runPoint(ctx context.Context, opts Options, res *Result) {
+	backoff := opts.Backoff
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			if res.Err == nil {
+				res.Err = ctx.Err()
+			}
+			return
+		}
+		res.Attempts = attempt + 1
+		run, err := r.runOnce(ctx, opts.PointTimeout, res.Point)
+		if err == nil {
+			res.Run, res.Err = run, nil
+			return
+		}
+		res.Err = fmt.Errorf("sweep: point %v: %w", res.Point, err)
+		// The grid being cancelled is not a per-point fault; don't burn
+		// retries on it.
+		if ctx.Err() != nil || attempt >= opts.Retries {
+			return
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// runOnce performs a single simulation attempt, converting panics into a
+// *PanicError and honoring the per-point timeout via the reference stream.
+func (r Runner) runOnce(ctx context.Context, timeout time.Duration, pt Point) (run cpu.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Point: pt, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	pctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	h, err := memsys.New(r.Configure(pt))
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	return cpu.Run(h, watch(pctx, r.Trace()), r.CPU)
+}
+
+// watchInterval is how many references a simulation consumes between
+// cancellation checks: rare enough to stay off the hot path, frequent
+// enough that SIGINT or a timeout stops a run within microseconds.
+const watchInterval = 1024
+
+// watch wraps a stream so the simulation observes ctx: cancellation or a
+// deadline surfaces as a stream error every watchInterval references,
+// unwinding cpu.Run without poisoning any shared state.
+func watch(ctx context.Context, s trace.Stream) trace.Stream {
+	return &watchStream{ctx: ctx, s: s}
+}
+
+type watchStream struct {
+	ctx  context.Context
+	s    trace.Stream
+	left int
+}
+
+func (w *watchStream) Next() (trace.Ref, error) {
+	if w.left <= 0 {
+		if err := w.ctx.Err(); err != nil {
+			return trace.Ref{}, err
+		}
+		w.left = watchInterval
+	}
+	w.left--
+	return w.s.Next()
+}
+
+// Canceled reports whether a per-point error is (or wraps) a context
+// cancellation or deadline rather than a simulation fault.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -7,9 +7,8 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"mlcache/internal/cpu"
 	"mlcache/internal/memsys"
@@ -87,7 +86,20 @@ type Runner struct {
 type Result struct {
 	Point Point
 	Run   cpu.Result
+	// Err is the point's failure, if any: a panic converted by the worker
+	// pool (*PanicError), a configuration error, a timeout, or the grid's
+	// cancellation. Run is meaningless when Err is non-nil.
+	Err error
+	// Skipped marks a point that Options.Skip excluded (already journaled
+	// by a previous run); neither Run nor Err is set.
+	Skipped bool
+	// Attempts is how many simulation attempts the point consumed (> 1
+	// only when Options.Retries allowed a retry after a failure).
+	Attempts int
 }
+
+// OK reports whether the point was simulated successfully in this run.
+func (r Result) OK() bool { return r.Err == nil && !r.Skipped }
 
 // Run simulates every point of the grid and returns results in grid order.
 func (r Runner) Run(grid Grid) ([]Result, error) {
@@ -95,44 +107,17 @@ func (r Runner) Run(grid Grid) ([]Result, error) {
 }
 
 // RunPoints simulates the given points and returns results in input order.
+// It is the strict all-or-nothing interface: the first per-point failure is
+// returned as an error with no results. Callers that want fault isolation,
+// cancellation, or resume use RunContext.
 func (r Runner) RunPoints(pts []Point) ([]Result, error) {
-	if r.Configure == nil || r.Trace == nil {
-		return nil, fmt.Errorf("sweep: Runner needs Configure and Trace")
+	results, err := r.RunContext(context.Background(), pts, Options{})
+	if err != nil {
+		return nil, err
 	}
-	par := r.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(pts) {
-		par = len(pts)
-	}
-	results := make([]Result, len(pts))
-	errs := make([]error, len(pts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i, pt := range pts {
-		wg.Add(1)
-		go func(i int, pt Point) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			h, err := memsys.New(r.Configure(pt))
-			if err != nil {
-				errs[i] = fmt.Errorf("sweep: point %v: %w", pt, err)
-				return
-			}
-			run, err := cpu.Run(h, r.Trace(), r.CPU)
-			if err != nil {
-				errs[i] = fmt.Errorf("sweep: point %v: %w", pt, err)
-				return
-			}
-			results[i] = Result{Point: pt, Run: run}
-		}(i, pt)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, res.Err
 		}
 	}
 	return results, nil

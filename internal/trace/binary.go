@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // The binary codec is a compact delta-encoded format for large traces:
@@ -154,6 +155,11 @@ func (b *BinaryReader) Next() (Ref, error) {
 	if !kind.Valid() {
 		return Ref{}, fmt.Errorf("trace: invalid kind bits %d (%w)", header&0x3, ErrCorrupt)
 	}
+	if header>>3 != 0 {
+		// The writer keeps the five reserved bits clear; any set bit means
+		// the stream is damaged or misaligned.
+		return Ref{}, fmt.Errorf("trace: reserved header bits %#x set (%w)", header, ErrCorrupt)
+	}
 	delta, err := binary.ReadVarint(b.r)
 	if err != nil {
 		return Ref{}, truncated(err)
@@ -176,5 +182,62 @@ func truncated(err error) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		return fmt.Errorf("trace: truncated record (%w)", ErrCorrupt)
 	}
+	// encoding/binary reports an over-long varint with an unexported error;
+	// match it by message. An overflowing varint is stream damage, not I/O.
+	if strings.Contains(err.Error(), "overflow") {
+		return fmt.Errorf("trace: varint overflow (%w)", ErrCorrupt)
+	}
 	return err
+}
+
+// plausibleHeader reports whether a byte could begin a record: the two kind
+// bits name a defined kind and the five reserved bits are clear.
+func plausibleHeader(c byte) bool {
+	return c>>3 == 0 && c&0x3 <= byte(Store)
+}
+
+// resync advances the reader past corrupt bytes to the next position that
+// parses as a complete record (plausible header byte, well-formed address
+// varint, and — when flagged — a well-formed in-range pid varint). It
+// reports whether such a position was found before end of input. The
+// running address/pid state is kept: the damaged record's delta is lost,
+// so subsequent addresses may be offset — the price of salvaging the rest
+// of the stream. resync implements the hook the Lenient wrapper uses.
+func (b *BinaryReader) resync() bool {
+	if !b.started {
+		return false // header corruption is not recoverable
+	}
+	for {
+		buf, err := b.r.Peek(1)
+		if err != nil {
+			return false
+		}
+		if plausibleHeader(buf[0]) && b.plausibleRecordAhead() {
+			return true
+		}
+		b.r.Discard(1)
+	}
+}
+
+// plausibleRecordAhead checks, without consuming input, that the bytes at
+// the current position decode as one full record. A truncated tail (record
+// start but not enough bytes) is treated as implausible: resync keeps
+// scanning and eventually reports failure, ending the stream.
+func (b *BinaryReader) plausibleRecordAhead() bool {
+	const max = 1 + 2*binary.MaxVarintLen64
+	buf, _ := b.r.Peek(max) // short read near EOF is fine; parse what's there
+	if len(buf) < 2 {
+		return false
+	}
+	_, n := binary.Varint(buf[1:])
+	if n <= 0 {
+		return false
+	}
+	if buf[0]&(1<<2) != 0 {
+		pid, m := binary.Uvarint(buf[1+n:])
+		if m <= 0 || pid > 0xFFFF {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// refsFromFuzzBytes interprets fuzz input as a reference list, 11 bytes per
+// reference (1 kind + 8 address + 2 pid), giving the fuzzer full control of
+// the encoded values without needing to understand the codec.
+func refsFromFuzzBytes(data []byte) Trace {
+	var refs Trace
+	for len(data) >= 11 {
+		refs = append(refs, Ref{
+			Kind: Kind(data[0] % 3),
+			Addr: binary.LittleEndian.Uint64(data[1:9]),
+			PID:  binary.LittleEndian.Uint16(data[9:11]),
+		})
+		data = data[11:]
+	}
+	return refs
+}
+
+func fuzzBytesFromRefs(refs Trace) []byte {
+	out := make([]byte, 0, 11*len(refs))
+	var buf [11]byte
+	for _, r := range refs {
+		buf[0] = byte(r.Kind)
+		binary.LittleEndian.PutUint64(buf[1:9], r.Addr)
+		binary.LittleEndian.PutUint16(buf[9:11], r.PID)
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// FuzzBinaryRoundTrip checks that any reference sequence survives an
+// encode/decode round trip exactly, and that the decoder — strict and
+// lenient — never panics on the raw fuzz bytes themselves.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	// Seed corpus: the traces the unit tests exercise.
+	f.Add(fuzzBytesFromRefs(sampleRefs(50)))
+	f.Add(fuzzBytesFromRefs(uniformRefs(20)))
+	f.Add(fuzzBytesFromRefs(Trace{
+		{Kind: IFetch, Addr: 0},
+		{Kind: Store, Addr: 1<<64 - 1, PID: 65535}, // extreme delta wraparound
+		{Kind: Load, Addr: 0x7FFFFFFFFFFFFFFF},
+	}))
+	f.Add([]byte("MLCT\x01\x00\x08"))
+	f.Add([]byte("MLCT\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")) // varint overflow
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Property 1: encode/decode round trip is the identity.
+		refs := refsFromFuzzBytes(data)
+		var enc bytes.Buffer
+		w := NewBinaryWriter(&enc)
+		for _, r := range refs {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("encode %v: %v", r, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(NewBinaryReader(bytes.NewReader(enc.Bytes())), 0)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("round trip: %d refs in, %d out", len(refs), len(got))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("ref %d: %v != %v", i, got[i], refs[i])
+			}
+		}
+
+		// Property 2: the decoder survives arbitrary bytes — errors are
+		// fine, panics and non-corrupt garbage errors are not.
+		for _, s := range []Stream{
+			NewBinaryReader(bytes.NewReader(data)),
+			Lenient(NewBinaryReader(bytes.NewReader(data)), 16),
+		} {
+			for i := 0; i < 1<<16; i++ {
+				_, err := s.Next()
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("decoder error is neither EOF nor corrupt: %v", err)
+				}
+				break
+			}
+		}
+	})
+}
+
+// FuzzTextReader checks that the text parser never panics, classifies every
+// failure as corruption, and that whatever it accepts survives a
+// write/re-read round trip.
+func FuzzTextReader(f *testing.F) {
+	// Seed corpus: the documented line forms and near-misses.
+	f.Add("ifetch 0x1000\nload 4096 3\nstore 0x2a 65535\n")
+	f.Add("# comment\n\n i 0x10 \nl 16\ns 0x20 1\nr 8\nw 12\n")
+	f.Add("2 0x100\n0 0x200\n1 0x300\n")
+	f.Add("load 0xZZ\nstore\nifetch 1 2 3 4\nload 99999999999999999999\n")
+	f.Add("load 16 65536\n")
+	f.Add(strings.Repeat("x", 100))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		// Strict read: every error must be EOF, corruption, or a scanner
+		// limit (too-long line) — never a panic.
+		r := NewTextReader(strings.NewReader(input))
+		var accepted Trace
+		for i := 0; i < 1<<16; i++ {
+			ref, err := r.Next()
+			if err != nil {
+				if errors.Is(err, ErrCorrupt) || errors.Is(err, io.EOF) {
+					break
+				}
+				if strings.Contains(err.Error(), "token too long") {
+					break // bufio.Scanner line-length guard, expected
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if !ref.Kind.Valid() {
+				t.Fatalf("parser produced invalid kind %d", ref.Kind)
+			}
+			accepted = append(accepted, ref)
+		}
+
+		// Lenient read must salvage at least as many references.
+		ls := Lenient(NewTextReader(strings.NewReader(input)), -1)
+		salvaged, err := Collect(ls, 1<<16)
+		if err != nil && !strings.Contains(err.Error(), "token too long") {
+			t.Fatalf("lenient text read: %v", err)
+		}
+		if err == nil && len(salvaged) < len(accepted) {
+			t.Fatalf("lenient salvaged %d < strict %d", len(salvaged), len(accepted))
+		}
+
+		// Round trip what was accepted.
+		var sb strings.Builder
+		w := NewTextWriter(&sb)
+		for _, ref := range accepted {
+			if err := w.Write(ref); err != nil {
+				t.Fatalf("re-encode %v: %v", ref, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Collect(NewTextReader(strings.NewReader(sb.String())), 0)
+		if err != nil {
+			t.Fatalf("re-read of own encoding: %v", err)
+		}
+		if len(again) != len(accepted) {
+			t.Fatalf("round trip: %d refs in, %d out", len(accepted), len(again))
+		}
+		for i := range accepted {
+			if again[i] != accepted[i] {
+				t.Fatalf("ref %d: %v != %v", i, again[i], accepted[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrSkipBudget is wrapped by the error a Lenient stream returns when the
+// corruption it has skipped exceeds its budget — the point at which a trace
+// stops being "a few flipped bytes" and starts being the wrong file.
+var ErrSkipBudget = errors.New("trace: corrupt-record skip budget exhausted")
+
+// resyncable is implemented by readers that can advance past a corrupt
+// record to the next plausible record boundary. The Lenient wrapper calls
+// it after an ErrCorrupt; recover reports whether a plausible boundary was
+// found (false means the remainder of the input is unusable).
+type resyncable interface {
+	resync() bool
+}
+
+// Lenient wraps a codec reader so that corrupt records are skipped instead
+// of aborting the run: a flipped byte in a gigabyte trace costs the handful
+// of references around the damage, not the whole simulation. Up to maxSkips
+// corrupt records are dropped (negative means unlimited); the next corrupt
+// record past the budget fails with an error wrapping both ErrSkipBudget
+// and the underlying corruption. Skips are counted and surface in
+// Counts.Skipped via Count.
+//
+// The text reader recovers by dropping the offending line. The binary
+// reader re-syncs by scanning for the next plausible record header; because
+// the format is delta-encoded, the skipped record's address delta is lost,
+// so addresses after a skip may be offset until the next PID change or
+// absolute resynchronization — acceptable for miss-ratio statistics,
+// which is what lenient mode is for. I/O errors and header (magic/version)
+// corruption are never skipped.
+//
+// Streams without resync support (anything that is not a *BinaryReader or
+// *TextReader) pass through: their corrupt errors are returned unchanged.
+func Lenient(s Stream, maxSkips int) Stream {
+	return &lenientStream{s: s, budget: maxSkips}
+}
+
+type lenientStream struct {
+	s      Stream
+	budget int // negative = unlimited
+	skips  int64
+	err    error // sticky terminal error
+}
+
+// Next returns the next intact reference, skipping corrupt records within
+// budget.
+func (l *lenientStream) Next() (Ref, error) {
+	if l.err != nil {
+		return Ref{}, l.err
+	}
+	for {
+		r, err := l.s.Next()
+		if err == nil {
+			return r, nil
+		}
+		if errors.Is(err, io.EOF) || !errors.Is(err, ErrCorrupt) {
+			return Ref{}, err
+		}
+		rs, ok := l.s.(resyncable)
+		if !ok {
+			return Ref{}, err
+		}
+		// A corrupt file header (bad magic or version) means the whole
+		// input is suspect, not one record; never skip past it.
+		if br, isBin := l.s.(*BinaryReader); isBin && !br.started {
+			return Ref{}, err
+		}
+		if l.budget >= 0 && l.skips >= int64(l.budget) {
+			l.err = fmt.Errorf("%w after %d skips: %w", ErrSkipBudget, l.skips, err)
+			return Ref{}, l.err
+		}
+		if !rs.resync() {
+			// No plausible record boundary before end of input: the tail
+			// is lost, which is exhaustion, not a new error — the caller
+			// gets every reference that could be salvaged.
+			l.skips++
+			return Ref{}, io.EOF
+		}
+		l.skips++
+	}
+}
+
+// Skips returns the number of corrupt records skipped so far.
+func (l *lenientStream) Skips() int64 { return l.skips }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
 )
@@ -69,16 +70,24 @@ func Concat(streams ...Stream) Stream { return &concatStream{streams: streams} }
 
 type concatStream struct {
 	streams []Stream
+	idx     int // original index of streams[0], for error attribution
 }
 
 func (c *concatStream) Next() (Ref, error) {
 	for len(c.streams) > 0 {
 		r, err := c.streams[0].Next()
-		if err == io.EOF {
+		if err == nil {
+			return r, nil
+		}
+		// Only genuine exhaustion advances to the next stream; any other
+		// failure — including one wrapping something else entirely — must
+		// reach the caller, attributed to the stream that produced it.
+		if errors.Is(err, io.EOF) {
 			c.streams = c.streams[1:]
+			c.idx++
 			continue
 		}
-		return r, err
+		return Ref{}, fmt.Errorf("trace: concat stream %d: %w", c.idx, err)
 	}
 	return Ref{}, io.EOF
 }
@@ -91,11 +100,16 @@ func RoundRobin(quantum int, streams ...Stream) Stream {
 	if quantum < 1 {
 		panic(fmt.Sprintf("trace: RoundRobin quantum %d < 1", quantum))
 	}
-	return &rrStream{streams: streams, quantum: quantum, left: quantum}
+	idx := make([]int, len(streams))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &rrStream{streams: streams, idx: idx, quantum: quantum, left: quantum}
 }
 
 type rrStream struct {
 	streams []Stream
+	idx     []int // original index of each live stream, for error attribution
 	quantum int
 	cur     int
 	left    int
@@ -107,15 +121,18 @@ func (r *rrStream) Next() (Ref, error) {
 			r.advance()
 		}
 		ref, err := r.streams[r.cur].Next()
-		if err == io.EOF {
+		if err == nil {
+			r.left--
+			return ref, nil
+		}
+		// Exhaustion (including a wrapped io.EOF) retires the stream; a
+		// real error is surfaced to the caller, never treated as the
+		// stream merely ending.
+		if errors.Is(err, io.EOF) {
 			r.remove(r.cur)
 			continue
 		}
-		if err != nil {
-			return Ref{}, err
-		}
-		r.left--
-		return ref, nil
+		return Ref{}, fmt.Errorf("trace: round-robin stream %d: %w", r.idx[r.cur], err)
 	}
 	return Ref{}, io.EOF
 }
@@ -127,6 +144,7 @@ func (r *rrStream) advance() {
 
 func (r *rrStream) remove(i int) {
 	r.streams = append(r.streams[:i], r.streams[i+1:]...)
+	r.idx = append(r.idx[:i], r.idx[i+1:]...)
 	if len(r.streams) == 0 {
 		return
 	}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// errAfter yields n references, then fails with err forever.
+func errAfter(n int, err error) Stream {
+	i := 0
+	return Func(func() (Ref, error) {
+		if i >= n {
+			return Ref{}, err
+		}
+		i++
+		return Ref{Kind: Load, Addr: uint64(4 * i)}, nil
+	})
+}
+
+func TestConcatSurfacesStreamError(t *testing.T) {
+	readErr := errors.New("read failure")
+	s := Concat(
+		Trace{{Kind: Load, Addr: 4}}.Stream(),
+		errAfter(1, readErr),
+		Trace{{Kind: Load, Addr: 8}}.Stream(),
+	)
+	var got []Ref
+	for {
+		r, err := s.Next()
+		if err != nil {
+			// The failure must reach the caller as an error — it is not
+			// stream exhaustion, so the third stream must NOT be drained.
+			if !errors.Is(err, readErr) {
+				t.Fatalf("err = %v, want wrapped %v", err, readErr)
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatalf("error conflated with EOF: %v", err)
+			}
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 2 {
+		t.Errorf("refs before error = %d, want 2 (error must not look like exhaustion)", len(got))
+	}
+}
+
+func TestConcatTreatsWrappedEOFAsExhaustion(t *testing.T) {
+	wrapped := fmt.Errorf("decoder: %w", io.EOF)
+	s := Concat(errAfter(1, wrapped), Trace{{Kind: Store, Addr: 8}}.Stream())
+	refs, err := Collect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Errorf("collected %d refs, want 2 (wrapped EOF should advance to next stream)", len(refs))
+	}
+}
+
+func TestRoundRobinSurfacesStreamError(t *testing.T) {
+	readErr := errors.New("read failure")
+	s := RoundRobin(2,
+		errAfter(100, nil), // healthy: never errors within this test
+		errAfter(3, readErr),
+	)
+	n := 0
+	for {
+		_, err := s.Next()
+		if err != nil {
+			if !errors.Is(err, readErr) || errors.Is(err, io.EOF) {
+				t.Fatalf("err = %v, want wrapped %v (not EOF)", err, readErr)
+			}
+			break
+		}
+		n++
+		if n > 50 {
+			t.Fatal("erroring stream treated as exhausted; round-robin never surfaced the error")
+		}
+	}
+	// Quanta of 2: s0 yields 2, s1 yields 2, s0 yields 2, then s1 errors
+	// on its third reference.
+	if n != 7 {
+		t.Errorf("refs before error = %d, want 7", n)
+	}
+}
+
+func TestRoundRobinRetiresWrappedEOF(t *testing.T) {
+	wrapped := fmt.Errorf("decoder: %w", io.EOF)
+	s := RoundRobin(1, errAfter(2, wrapped), errAfter(3, wrapped))
+	refs, err := Collect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 5 {
+		t.Errorf("collected %d refs, want 5", len(refs))
+	}
+}
+
+func TestRoundRobinErrorNamesStream(t *testing.T) {
+	readErr := errors.New("boom")
+	s := RoundRobin(1, errAfter(10, nil), errAfter(0, readErr))
+	var err error
+	for err == nil {
+		_, err = s.Next()
+	}
+	if got := err.Error(); got != "trace: round-robin stream 1: boom" {
+		t.Errorf("error = %q, want stream index 1 named", got)
+	}
+}

@@ -96,6 +96,12 @@ func (t *TextReader) Next() (Ref, error) {
 	return Ref{}, io.EOF
 }
 
+// resync recovers from a corrupt line. The scanner has already consumed
+// the offending line, and every line is an independent record, so recovery
+// is trivially "carry on". resync implements the hook the Lenient wrapper
+// uses.
+func (t *TextReader) resync() bool { return true }
+
 func parseTextLine(line string) (Ref, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 || len(fields) > 3 {

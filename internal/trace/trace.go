@@ -103,7 +103,7 @@ func Collect(s Stream, max int) (Trace, error) {
 	var out Trace
 	for max == 0 || len(out) < max {
 		r, err := s.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {
@@ -119,6 +119,9 @@ type Counts struct {
 	IFetch int64
 	Load   int64
 	Store  int64
+	// Skipped counts corrupt records dropped by a Lenient reader feeding
+	// the count; zero for strict streams.
+	Skipped int64
 }
 
 // Total returns the total number of references counted.
@@ -139,12 +142,16 @@ func (c *Counts) Add(k Kind) {
 	}
 }
 
-// Count consumes the entire stream and tallies it.
+// Count consumes the entire stream and tallies it. When s is a Lenient
+// stream the records it skipped land in Counts.Skipped.
 func Count(s Stream) (Counts, error) {
 	var c Counts
 	for {
 		r, err := s.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
+			if sk, ok := s.(interface{ Skips() int64 }); ok {
+				c.Skipped = sk.Skips()
+			}
 			return c, nil
 		}
 		if err != nil {
