@@ -31,6 +31,16 @@ type Stream = trace.Stream
 // Trace is an in-memory reference sequence.
 type Trace = trace.Trace
 
+// Arena is an immutable in-memory trace, decoded once and shared by any
+// number of concurrent simulations through zero-copy cursors (see
+// trace.Arena). Simulate recognizes arena cursors and consumes them in
+// batches, the engine's fastest path.
+type Arena = trace.Arena
+
+// Materialize drains a stream into a shared Arena. Decode a trace once,
+// then run every configuration of interest against Arena.Cursor() streams.
+func Materialize(s Stream) (*Arena, error) { return trace.Materialize(s) }
+
 // Reference kinds.
 const (
 	IFetch = trace.IFetch

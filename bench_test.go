@@ -194,8 +194,35 @@ func BenchmarkL1Opt(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures the raw timing-simulation speed of
-// the base machine in references per second.
+// the base machine in references per second: the trace is decoded once
+// into an arena outside the timed region (the sweep engine's decode-once
+// model) and each iteration simulates it through a zero-copy cursor.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := experiments.BaseMachine(4,
+		experiments.L2Config(512*1024, 30, 1), mainmem.Base())
+	arena, err := Materialize(SyntheticWorkload(1, 200_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var refs int64
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(cfg, arena.Cursor(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += res.CPUReads + res.Stores
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkSimulatorThroughputLegacy is the pre-arena baseline: the
+// synthetic workload is re-generated inside every iteration and consumed
+// one Next() call at a time, the way sweeps ran before the decode-once
+// engine. The gap between this and BenchmarkSimulatorThroughput is the
+// per-point cost the arena removes.
+func BenchmarkSimulatorThroughputLegacy(b *testing.B) {
 	cfg := experiments.BaseMachine(4,
 		experiments.L2Config(512*1024, 30, 1), mainmem.Base())
 	b.ReportAllocs()

@@ -1,0 +1,96 @@
+// Command benchjson measures simulator throughput and writes the result
+// as a small JSON file, so CI can track the performance trajectory of the
+// engine across commits. It runs the same workload as
+// BenchmarkSimulatorThroughput — the base machine of §2 over the
+// calibrated synthetic trace — decoding the trace once into an arena and
+// timing the simulation passes alone.
+//
+// Usage:
+//
+//	benchjson                        # writes BENCH_simulator.json
+//	benchjson -n 500000 -runs 5 -o bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mlcache/internal/cpu"
+	"mlcache/internal/experiments"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+// result is the JSON schema; field names are stable so downstream tooling
+// can diff files across commits.
+type result struct {
+	Name       string  `json:"name"`
+	Refs       int64   `json:"refs"`
+	Runs       int     `json:"runs"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	RefsPerSec float64 `json:"refs_per_sec"`
+	UnixTime   int64   `json:"unix_time"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		n    = flag.Int64("n", 200_000, "trace length in references")
+		runs = flag.Int("runs", 3, "simulation passes to time (best pass is reported)")
+		seed = flag.Int64("seed", 1, "workload seed")
+		out  = flag.String("o", "BENCH_simulator.json", "output file")
+	)
+	flag.Parse()
+
+	cfg := experiments.BaseMachine(4,
+		experiments.L2Config(512*1024, 30, 1), mainmem.Base())
+	arena, err := trace.Materialize(synth.PaperStream(*seed, *n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := memsys.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var refs int64
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < *runs; i++ {
+		h.Reset()
+		start := time.Now()
+		res, err := cpu.Run(h, arena.Cursor(), cpu.Config{CycleNS: cfg.CPUCycleNS})
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refs = res.CPUReads + res.Stores
+		if elapsed < best {
+			best = elapsed
+		}
+	}
+
+	r := result{
+		Name:       "SimulatorThroughput",
+		Refs:       refs,
+		Runs:       *runs,
+		ElapsedSec: best.Seconds(),
+		RefsPerSec: float64(refs) / best.Seconds(),
+		UnixTime:   time.Now().Unix(),
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.0f refs/s (%d refs, best of %d)\n", *out, r.RefsPerSec, refs, *runs)
+}

@@ -23,6 +23,7 @@ import (
 	"mlcache/internal/config"
 	"mlcache/internal/cpu"
 	"mlcache/internal/memsys"
+	"mlcache/internal/prof"
 	"mlcache/internal/report"
 	"mlcache/internal/synth"
 	"mlcache/internal/trace"
@@ -40,8 +41,16 @@ func main() {
 		warmup    = flag.Int64("warmup", -1, "warm-up references excluded from statistics (-1 = 20%)")
 		lenient   = flag.Int("lenient", 0, "skip up to N corrupt trace records (-1 = unlimited, 0 = strict)")
 		check     = flag.Bool("check", false, "validate cache-state invariants after every access (slow)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	if *cfgPath == "" {
 		log.Fatal("missing -config")

@@ -35,6 +35,7 @@ import (
 	"mlcache/internal/experiments"
 	"mlcache/internal/mainmem"
 	"mlcache/internal/memsys"
+	"mlcache/internal/prof"
 	"mlcache/internal/report"
 	"mlcache/internal/sweep"
 )
@@ -58,8 +59,16 @@ func main() {
 		timeout  = flag.Duration("point-timeout", 0, "per-point simulation timeout (0 = none)")
 		retries  = flag.Int("retries", 0, "extra attempts for a failed point")
 		check    = flag.Bool("check", false, "validate cache-state invariants after every access (slow)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	loS, hiS, err := parseRange(*sizesArg)
 	if err != nil {
@@ -229,9 +238,11 @@ func main() {
 			msg += "; use -checkpoint to make sweeps resumable"
 		}
 		log.Print(msg)
+		stopProf() // os.Exit skips the deferred stop
 		os.Exit(1)
 	case failed > 0:
 		log.Printf("%d of %d points failed", failed, len(pts))
+		stopProf()
 		os.Exit(1)
 	}
 }

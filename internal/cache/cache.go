@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 )
 
@@ -153,6 +154,30 @@ func (c Config) EffectiveFetchBytes() int {
 	return c.FetchBytes
 }
 
+// rngSeed derives the seed of the cache's private replacement PRNG from
+// the configuration and name. Every cache owns its own source, so Random
+// replacement is deterministic regardless of how many simulations run in
+// parallel, and distinct caches (or the same cache at different design
+// points) draw decorrelated sequences. Config.Seed perturbs the whole
+// family when a different sample is wanted.
+func (c Config) rngSeed() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Name))
+	var buf [40]byte
+	put := func(i int, v int64) {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	put(0, c.SizeBytes)
+	put(1, int64(c.BlockBytes))
+	put(2, int64(c.Assoc))
+	put(3, int64(c.FetchBytes))
+	put(4, c.Seed)
+	h.Write(buf[:])
+	return int64(h.Sum64())
+}
+
 // NumSets returns the number of sets implied by the configuration.
 func (c Config) NumSets() int64 {
 	blocks := c.SizeBytes / int64(c.BlockBytes)
@@ -225,6 +250,7 @@ func (l *line) valid() bool { return l.validMask != 0 }
 type Cache struct {
 	cfg        Config
 	sets       [][]line
+	backing    []line // the sets' shared storage, for bulk clearing
 	blockBits  uint
 	fetchBits  uint
 	subBlocked bool
@@ -251,12 +277,14 @@ func New(cfg Config) (*Cache, error) {
 	ways := cfg.Ways()
 	sets := make([][]line, numSets)
 	backing := make([]line, numSets*int64(ways))
+	rest := backing
 	for i := range sets {
-		sets[i], backing = backing[:ways], backing[ways:]
+		sets[i], rest = rest[:ways], rest[ways:]
 	}
 	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
+		backing:   backing,
 		blockBits: log2(int64(cfg.BlockBytes)),
 		setMask:   uint64(numSets - 1),
 		recording: true,
@@ -266,9 +294,56 @@ func New(cfg Config) (*Cache, error) {
 		c.subBlocked = true
 	}
 	if cfg.Repl == Random {
-		c.rng = rand.New(rand.NewSource(cfg.Seed + 1))
+		c.rng = rand.New(rand.NewSource(cfg.rngSeed()))
 	}
 	return c, nil
+}
+
+// Reset returns the cache to its just-constructed state: every line
+// invalid, counters zeroed, recording on, and the replacement PRNG
+// reseeded to its deterministic initial seed. Reset-then-run is
+// indistinguishable from constructing a fresh cache, which is what lets
+// sweep workers reuse tag arrays across grid points.
+func (c *Cache) Reset() {
+	for i := range c.backing {
+		c.backing[i] = line{}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+	c.dirtyMade, c.dirtyDropped = 0, 0
+	c.recording = true
+	if c.cfg.Repl == Random {
+		c.rng = rand.New(rand.NewSource(c.cfg.rngSeed()))
+	} else {
+		c.rng = nil
+	}
+}
+
+// Compatible reports whether cfg could reuse this cache's allocated tag
+// arrays: the geometry that fixes allocation shape (set count, ways, block
+// size, sub-blocking) must match. Policies, timing, and seeds are free to
+// differ — they live in Config, not in the arrays.
+func (c *Cache) Compatible(cfg Config) bool {
+	if err := cfg.Validate(); err != nil {
+		return false
+	}
+	return cfg.NumSets() == c.cfg.NumSets() && cfg.Ways() == c.cfg.Ways() &&
+		cfg.SubBlocks() == c.cfg.SubBlocks() &&
+		cfg.EffectiveFetchBytes() == c.cfg.EffectiveFetchBytes() &&
+		cfg.BlockBytes == c.cfg.BlockBytes
+}
+
+// ResetFor re-purposes the cache for a new configuration when Compatible
+// allows it, adopting cfg and resetting all state. It reports whether the
+// reuse happened; when it returns false the cache is untouched and the
+// caller must construct a new one.
+func (c *Cache) ResetFor(cfg Config) bool {
+	if !c.Compatible(cfg) {
+		return false
+	}
+	c.cfg = cfg
+	c.Reset()
+	return true
 }
 
 // MustNew is New that panics on configuration errors; intended for tests

@@ -25,6 +25,11 @@ type Config struct {
 	// PID changes, modeling virtually-indexed L1s. The paper's caches are
 	// physical (no flush); this knob quantifies the choice.
 	FlushOnSwitch bool
+	// Interrupt, when non-nil, is polled once per reference batch (every
+	// few thousand references); a non-nil return stops the run with that
+	// error. The sweep engine points it at ctx.Err so cancellation and
+	// per-point timeouts reach the hot loop without a wrapping stream.
+	Interrupt func() error
 }
 
 // Validate checks the configuration.
@@ -131,9 +136,134 @@ func (r Result) StallAtMost(bucket int) float64 {
 	return float64(below) / float64(total)
 }
 
+// batchRefs is how many references the issue loop pulls per source call.
+// One Interrupt poll per batch keeps cancellation latency in the
+// microseconds while staying entirely off the per-reference path.
+const batchRefs = 4096
+
+// refSource feeds the issue loop from either a trace.BatchReader (the
+// decode-once arena fast path: one interface call per batch) or a legacy
+// trace.Stream (one call per reference, buffered here so the loop itself
+// is identical). It provides the one-reference lookahead the issue model
+// needs. A terminal error is sticky and delivered only after every
+// already-buffered reference has been consumed, matching the stream
+// semantics the loop always had.
+type refSource struct {
+	br    trace.BatchReader
+	s     trace.Stream
+	check func() error
+	buf   []trace.Ref
+	pos   int
+	n     int
+	err   error
+}
+
+func newRefSource(s trace.Stream, check func() error) *refSource {
+	rs := &refSource{s: s, check: check, buf: make([]trace.Ref, batchRefs)}
+	if br, ok := s.(trace.BatchReader); ok {
+		rs.br = br
+	}
+	return rs
+}
+
+// fill refills the buffer after it has drained. It leaves rs.err set once
+// the source is exhausted or failed, or when the Interrupt hook fired.
+func (rs *refSource) fill() {
+	if rs.err != nil {
+		return
+	}
+	if rs.check != nil {
+		if err := rs.check(); err != nil {
+			rs.err = err
+			return
+		}
+	}
+	rs.pos, rs.n = 0, 0
+	if rs.br != nil {
+		n, err := rs.br.ReadRefs(rs.buf)
+		rs.n, rs.err = n, err
+		return
+	}
+	for rs.n < len(rs.buf) {
+		r, err := rs.s.Next()
+		if err != nil {
+			rs.err = err
+			return
+		}
+		rs.buf[rs.n] = r
+		rs.n++
+	}
+}
+
+// next returns the next reference, consuming it.
+func (rs *refSource) next() (trace.Ref, error) {
+	if rs.pos >= rs.n {
+		rs.fill()
+		if rs.pos >= rs.n {
+			if rs.err == nil {
+				rs.err = io.ErrNoProgress
+			}
+			return trace.Ref{}, rs.err
+		}
+	}
+	r := rs.buf[rs.pos]
+	rs.pos++
+	return r, nil
+}
+
+// peek returns the next reference without consuming it.
+func (rs *refSource) peek() (trace.Ref, error) {
+	if rs.pos >= rs.n {
+		rs.fill()
+		if rs.pos >= rs.n {
+			if rs.err == nil {
+				rs.err = io.ErrNoProgress
+			}
+			return trace.Ref{}, rs.err
+		}
+	}
+	return rs.buf[rs.pos], nil
+}
+
+// pidTally accumulates per-process statistics without touching a map on
+// the per-reference path: traces issue long same-PID runs (round-robin
+// time slicing), so a one-entry cache in front of a pointer map makes the
+// common case a single comparison.
+type pidTally struct {
+	m      map[uint16]*PIDStats
+	curPID uint16
+	cur    *PIDStats
+}
+
+func newPIDTally() *pidTally { return &pidTally{m: map[uint16]*PIDStats{}} }
+
+func (t *pidTally) get(pid uint16) *PIDStats {
+	if t.cur != nil && pid == t.curPID {
+		return t.cur
+	}
+	ps := t.m[pid]
+	if ps == nil {
+		ps = &PIDStats{}
+		t.m[pid] = ps
+	}
+	t.curPID, t.cur = pid, ps
+	return ps
+}
+
+func (t *pidTally) result() map[uint16]PIDStats {
+	out := make(map[uint16]PIDStats, len(t.m))
+	for pid, ps := range t.m {
+		out[pid] = *ps
+	}
+	return out
+}
+
 // Run executes the trace on the hierarchy and returns the result. The
-// hierarchy must be freshly constructed (or at least have had its schedule
-// reset) and must use the same CPU cycle time.
+// hierarchy must be freshly constructed or Reset and must use the same CPU
+// cycle time. When s implements trace.BatchReader (an arena Cursor does)
+// the issue loop reads it in batches — one interface call per few thousand
+// references; any other Stream is buffered internally, so results are
+// identical either way.
 func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -142,7 +272,7 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("cpu: cycle time %d does not match hierarchy's %d", cfg.CycleNS, hc)
 	}
 
-	p := trace.NewPeeker(s)
+	rs := newRefSource(s, cfg.Interrupt)
 	var res Result
 
 	warmLeft := cfg.WarmupRefs
@@ -152,14 +282,14 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 	var now int64 // end of the most recent cycle
 	var startNS int64
 
-	res.PerPID = map[uint16]PIDStats{}
+	pids := newPIDTally()
 
 	// note consumes bookkeeping for one reference.
 	note := func(r trace.Ref) {
 		if !recording {
 			return
 		}
-		ps := res.PerPID[r.PID]
+		ps := pids.get(r.PID)
 		switch r.Kind {
 		case trace.IFetch:
 			res.Instructions++
@@ -173,18 +303,18 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 			res.Stores++
 			ps.Stores++
 		}
-		res.PerPID[r.PID] = ps
 	}
 
 	var curPID uint16
 	var sawRef bool
 
 	for {
-		r, err := p.Next()
+		r, err := rs.next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			res.PerPID = pids.result()
 			return res, err
 		}
 
@@ -217,8 +347,9 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 		slotStore := r.Kind == trace.Store
 
 		if r.Kind == trace.IFetch {
-			if d, err := p.Peek(); err == nil && d.Kind != trace.IFetch {
-				if _, err := p.Next(); err != nil {
+			if d, err := rs.peek(); err == nil && d.Kind != trace.IFetch {
+				if _, err := rs.next(); err != nil {
+					res.PerPID = pids.result()
 					return res, err
 				}
 				now = h.Access(d, now)
@@ -238,9 +369,7 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 		}
 
 		if recording {
-			ps := res.PerPID[r.PID]
-			ps.TimeNS += now - slotStart
-			res.PerPID[r.PID] = ps
+			pids.get(r.PID).TimeNS += now - slotStart
 
 			// The architectural store cycle is not a stall.
 			base := cfg.CycleNS
@@ -261,10 +390,12 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 		// invariant stops the run within one issue slot; otherwise this is
 		// a nil check.
 		if err := h.InvariantErr(); err != nil {
+			res.PerPID = pids.result()
 			return res, err
 		}
 	}
 
+	res.PerPID = pids.result()
 	res.TimeNS = now - startNS
 	res.Cycles = res.TimeNS / cfg.CycleNS
 	if res.IdealNS > 0 {

@@ -1,0 +1,223 @@
+package cpu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/cpu"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+// The equivalence suite proves the batched arena path yields bit-identical
+// results to the legacy per-ref stream path for every hierarchy shape the
+// paper exercises. Both paths feed the same issue loop, so any divergence
+// means the batching, the arena, or the Reset contract broke semantics.
+
+const (
+	equivCycleNS = 10
+	equivRefs    = 60_000
+	equivWarmup  = 12_000
+)
+
+func equivLevel(name string, sizeBytes int64, blockBytes int, cycleNS int64) memsys.LevelConfig {
+	return memsys.LevelConfig{
+		Cache: cache.Config{
+			Name:       name,
+			SizeBytes:  sizeBytes,
+			BlockBytes: blockBytes,
+			Assoc:      1,
+			Repl:       cache.LRU,
+			Write:      cache.WriteBack,
+			Alloc:      cache.WriteAllocate,
+		},
+		CycleNS: cycleNS,
+	}
+}
+
+// equivConfigs enumerates the hierarchy shapes required by the suite:
+// base machine, split and unified L1, write-through, prefetch, 3-level.
+func equivConfigs() map[string]memsys.Config {
+	base := func() memsys.Config {
+		return memsys.Config{
+			CPUCycleNS: equivCycleNS,
+			SplitL1:    true,
+			L1I:        equivLevel("L1I", 2*1024, 16, equivCycleNS),
+			L1D:        equivLevel("L1D", 2*1024, 16, equivCycleNS),
+			Down:       []memsys.LevelConfig{equivLevel("L2", 512*1024, 32, 3*equivCycleNS)},
+			WBDepth:    4,
+			Memory:     mainmem.Base(),
+		}
+	}
+	cfgs := map[string]memsys.Config{}
+	cfgs["base"] = base()
+
+	unified := base()
+	unified.SplitL1 = false
+	unified.L1 = equivLevel("L1", 4*1024, 16, equivCycleNS)
+	unified.L1I, unified.L1D = memsys.LevelConfig{}, memsys.LevelConfig{}
+	cfgs["unified-l1"] = unified
+
+	wt := base()
+	wt.L1D.Cache.Write = cache.WriteThrough
+	wt.L1D.Cache.Alloc = cache.NoWriteAllocate
+	cfgs["write-through-l1d"] = wt
+
+	pf := base()
+	pf.Down[0].Prefetch = true
+	cfgs["prefetch-l2"] = pf
+
+	three := base()
+	three.Down = []memsys.LevelConfig{
+		equivLevel("L2", 64*1024, 32, 2*equivCycleNS),
+		equivLevel("L3", 1024*1024, 64, 5*equivCycleNS),
+	}
+	cfgs["three-level"] = three
+	return cfgs
+}
+
+func equivCPU() cpu.Config {
+	return cpu.Config{CycleNS: equivCycleNS, WarmupRefs: equivWarmup}
+}
+
+func runOn(t *testing.T, cfg memsys.Config, s trace.Stream) cpu.Result {
+	t.Helper()
+	h, err := memsys.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cpu.Run(h, s, equivCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// slowStream strips any BatchReader implementation from a stream, forcing
+// the one-call-per-reference legacy path.
+type slowStream struct{ s trace.Stream }
+
+func (w slowStream) Next() (trace.Ref, error) { return w.s.Next() }
+
+func TestArenaPathEquivalence(t *testing.T) {
+	arena, err := trace.Materialize(synth.PaperStream(1, equivRefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			legacy := runOn(t, cfg, slowStream{synth.PaperStream(1, equivRefs)})
+			batched := runOn(t, cfg, arena.Cursor())
+			if !reflect.DeepEqual(legacy, batched) {
+				t.Fatalf("arena path diverged from legacy stream path:\nlegacy:  %+v\nbatched: %+v", legacy, batched)
+			}
+			// A cursor consumed through Next alone (no batching) must
+			// agree too.
+			perRef := runOn(t, cfg, slowStream{arena.Cursor()})
+			if !reflect.DeepEqual(legacy, perRef) {
+				t.Fatalf("per-ref cursor path diverged from legacy stream path")
+			}
+		})
+	}
+}
+
+func TestResetEquivalence(t *testing.T) {
+	arena, err := trace.Materialize(synth.PaperStream(1, equivRefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			h, err := memsys.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := cpu.Run(h, arena.Cursor(), equivCPU())
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Reset()
+			second, err := cpu.Run(h, arena.Cursor(), equivCPU())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("reset hierarchy diverged from fresh run:\nfirst:  %+v\nsecond: %+v", first, second)
+			}
+		})
+	}
+}
+
+func TestResetForEquivalence(t *testing.T) {
+	arena, err := trace.Materialize(synth.PaperStream(1, equivRefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same geometry, different L2 timing: the sweep's reuse pattern.
+	mk := func(cyc int64) memsys.Config {
+		cfg := equivConfigs()["base"]
+		cfg.Down[0].CycleNS = cyc
+		return cfg
+	}
+	slowCfg := mk(5 * equivCycleNS)
+	fresh := runOn(t, slowCfg, arena.Cursor())
+
+	h, err := memsys.New(mk(3 * equivCycleNS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.Run(h, arena.Cursor(), equivCPU()); err != nil {
+		t.Fatal(err)
+	}
+	if !h.ResetFor(slowCfg) {
+		t.Fatal("ResetFor refused a same-geometry config")
+	}
+	reused, err := cpu.Run(h, arena.Cursor(), equivCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("ResetFor hierarchy diverged from fresh run:\nfresh:  %+v\nreused: %+v", fresh, reused)
+	}
+
+	// Geometry changes must be refused.
+	big := mk(3 * equivCycleNS)
+	big.Down[0].Cache.SizeBytes *= 2
+	if h.ResetFor(big) {
+		t.Fatal("ResetFor accepted a different L2 size")
+	}
+	split := mk(3 * equivCycleNS)
+	split.SplitL1 = false
+	split.L1 = equivLevel("L1", 4*1024, 16, equivCycleNS)
+	if h.ResetFor(split) {
+		t.Fatal("ResetFor accepted a structural change")
+	}
+}
+
+func TestInterruptStopsRun(t *testing.T) {
+	arena, err := trace.Materialize(synth.PaperStream(1, equivRefs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := memsys.New(equivConfigs()["base"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := &struct{ err error }{}
+	calls := 0
+	cfg := equivCPU()
+	cfg.Interrupt = func() error {
+		calls++
+		if calls > 3 {
+			stop.err = trace.ErrCorrupt // any sentinel
+			return stop.err
+		}
+		return nil
+	}
+	if _, err := cpu.Run(h, arena.Cursor(), cfg); err != stop.err {
+		t.Fatalf("Run error = %v, want the interrupt error", err)
+	}
+}

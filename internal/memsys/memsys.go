@@ -307,6 +307,20 @@ func New(cfg Config) (*Hierarchy, error) {
 		h.tlb = &tlb{cfg: cfg.TLB, cache: tc, recording: true}
 	}
 
+	if err := h.initMemSide(cfg); err != nil {
+		return nil, err
+	}
+
+	h.checks = cfg.CheckInvariants
+	h.SetRecording(true)
+	return h, nil
+}
+
+// initMemSide (re)builds the cheap per-run resources — backplane bus, main
+// memory, and the write buffers — from cfg. Shared by New and ResetFor:
+// these carry no large allocations, so rebuilding them is how a reused
+// hierarchy adopts new timing parameters.
+func (h *Hierarchy) initMemSide(cfg Config) error {
 	busCycle := cfg.MemBusCycleNS
 	if busCycle == 0 {
 		busCycle = cfg.DeepestLevel().CycleNS
@@ -315,13 +329,14 @@ func New(cfg Config) (*Hierarchy, error) {
 	if busWidth == 0 {
 		busWidth = 4 * bus.WordBytes
 	}
+	var err error
 	h.memBus, err = bus.New(bus.Config{Name: "membus", WidthBytes: busWidth, CycleNS: busCycle})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	h.mem, err = mainmem.New(cfg.Memory)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	// Write buffers: one in front of each downstream level, one in front
@@ -333,10 +348,110 @@ func New(cfg Config) (*Hierarchy, error) {
 	}
 	h.memBuf = wbuf.MustNew(depth, &memSink{h: h})
 	h.memBuf.SetCoalescing(cfg.WBCoalesce)
+	return nil
+}
 
-	h.checks = cfg.CheckInvariants
+// Reset returns the hierarchy to its just-constructed state — every cache
+// line invalid, all counters zeroed, all resource schedules idle, recording
+// on — without reallocating the tag arrays. A reset hierarchy produces
+// bit-identical simulation results to a freshly constructed one; sweep
+// workers rely on this to reuse hierarchies across grid points.
+func (h *Hierarchy) Reset() {
+	for _, fl := range []*firstLevel{h.l1i, h.l1d, h.l1} {
+		if fl != nil {
+			fl.cache.Reset()
+			fl.prefetches = 0
+		}
+	}
+	for _, lvl := range h.down {
+		lvl.cache.Reset()
+		lvl.res.freeAt = 0
+		lvl.inBuf.Reset()
+		lvl.storeFills, lvl.storeFillMisses, lvl.prefetches = 0, 0, 0
+	}
+	if h.tlb != nil {
+		h.tlb.cache.Reset()
+		h.tlb.stats = TLBStats{}
+	}
+	h.memBus.Reset()
+	h.mem.Reset()
+	h.memBuf.Reset()
+	h.invErr = nil
+	h.lastNow = 0
 	h.SetRecording(true)
-	return h, nil
+}
+
+// ResetFor re-purposes the hierarchy for a new configuration when every
+// cache's allocated geometry is compatible (see cache.Compatible): the
+// structure (split L1, level count, TLB presence) and per-level tag-array
+// shapes must match, while timing, policies, write-buffer depth, and the
+// memory model may all change. On success the hierarchy is fully reset
+// under cfg and ready to run; on failure it is untouched and the caller
+// must construct a new one. Sweep grids ordered size-major hit this path
+// for every cycle-time neighbor, skipping the tag-array reallocation that
+// otherwise dominates per-point setup.
+func (h *Hierarchy) ResetFor(cfg Config) bool {
+	if err := cfg.Validate(); err != nil {
+		return false
+	}
+	if cfg.SplitL1 != h.cfg.SplitL1 || len(cfg.Down) != len(h.down) {
+		return false
+	}
+	if (cfg.TLB.Entries > 0) != (h.tlb != nil) {
+		return false
+	}
+	for i, lc := range cfg.firstLevels() {
+		if !h.firstLevels()[i].cache.Compatible(lc.Cache) {
+			return false
+		}
+	}
+	for i, lvl := range h.down {
+		if !lvl.cache.Compatible(cfg.Down[i].Cache) {
+			return false
+		}
+	}
+	if h.tlb != nil && !h.tlb.cache.Compatible(cfg.TLB.cacheConfig()) {
+		return false
+	}
+
+	// Commit: adopt the new configuration everywhere, then reset state.
+	h.cfg = cfg
+	for i, lc := range cfg.firstLevels() {
+		fl := h.firstLevels()[i]
+		fl.cfg = lc
+		fl.cache.ResetFor(lc.Cache)
+		fl.prefetches = 0
+	}
+	for i, lvl := range h.down {
+		lvl.cfg = cfg.Down[i]
+		lvl.cache.ResetFor(cfg.Down[i].Cache)
+		lvl.res.freeAt = 0
+		lvl.storeFills, lvl.storeFillMisses, lvl.prefetches = 0, 0, 0
+	}
+	if h.tlb != nil {
+		h.tlb.cfg = cfg.TLB
+		h.tlb.cache.ResetFor(cfg.TLB.cacheConfig())
+		h.tlb.stats = TLBStats{}
+	}
+	h.deepBlockBytes = cfg.DeepestLevel().Cache.BlockBytes
+	h.deepFetchBytes = cfg.DeepestLevel().Cache.EffectiveFetchBytes()
+	if err := h.initMemSide(cfg); err != nil {
+		// Unreachable after Validate, but keep the contract honest.
+		return false
+	}
+	h.checks = cfg.CheckInvariants
+	h.invErr = nil
+	h.lastNow = 0
+	h.SetRecording(true)
+	return true
+}
+
+// firstLevels returns the live first-level caches in configuration order.
+func (h *Hierarchy) firstLevels() []*firstLevel {
+	if h.cfg.SplitL1 {
+		return []*firstLevel{h.l1i, h.l1d}
+	}
+	return []*firstLevel{h.l1}
 }
 
 // MustNew is New that panics on configuration errors.

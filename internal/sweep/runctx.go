@@ -62,8 +62,8 @@ func (e *PanicError) Error() string {
 // partial results are valid and, with Options.OnResult journaling them,
 // resumable. The returned error is nil unless ctx was cancelled.
 func (r Runner) RunContext(ctx context.Context, pts []Point, opts Options) ([]Result, error) {
-	if r.Configure == nil || r.Trace == nil {
-		return nil, fmt.Errorf("sweep: Runner needs Configure and Trace")
+	if r.Configure == nil || (r.Trace == nil && r.Arena == nil) {
+		return nil, fmt.Errorf("sweep: Runner needs Configure and Trace (or Arena)")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -88,19 +88,24 @@ func (r Runner) RunContext(ctx context.Context, pts []Point, opts Options) ([]Re
 	}
 
 	jobs := make(chan int)
+	shared := &gridTrace{runner: &r, ctx: ctx}
 	var onResultMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one reusable hierarchy: grid neighbors that
+			// share cache geometry are simulated by Reset instead of
+			// reallocating tag arrays.
+			ws := &workerState{}
 			for i := range jobs {
 				res := &results[i]
 				if opts.Skip != nil && opts.Skip(res.Point) {
 					res.Skipped = true
 					continue
 				}
-				r.runPoint(ctx, opts, res)
+				r.runPoint(ctx, opts, shared, ws, res)
 				if res.Err == nil && opts.OnResult != nil {
 					onResultMu.Lock()
 					opts.OnResult(*res)
@@ -134,8 +139,61 @@ feed:
 	return results, nil
 }
 
+// gridTrace owns the grid's shared trace: the runner's stream is
+// materialized into an immutable arena exactly once (by whichever worker
+// gets there first), and every point reads it through an independent
+// zero-copy cursor. With StreamPerPoint set it degrades to the legacy
+// fresh-stream-per-point behavior.
+type gridTrace struct {
+	runner *Runner
+	ctx    context.Context
+	once   sync.Once
+	arena  *trace.Arena
+	err    error
+}
+
+// source returns the reference source for one simulation attempt.
+func (g *gridTrace) source() (trace.Stream, error) {
+	if g.runner.StreamPerPoint && g.runner.Arena == nil {
+		return g.runner.Trace(), nil
+	}
+	g.once.Do(func() {
+		if g.runner.Arena != nil {
+			g.arena = g.runner.Arena
+			return
+		}
+		// The materialization pass itself observes cancellation through
+		// the watch wrapper; a cancelled decode fails all points with the
+		// context's error rather than hanging the grid.
+		g.arena, g.err = trace.Materialize(watch(g.ctx, g.runner.Trace()))
+	})
+	if g.err != nil {
+		return nil, g.err
+	}
+	return g.arena.Cursor(), nil
+}
+
+// workerState is the per-worker reusable simulation state.
+type workerState struct {
+	h *memsys.Hierarchy
+}
+
+// hierarchy returns a hierarchy for cfg, reusing the worker's previous one
+// (via ResetFor) when the cache geometry allows it.
+func (ws *workerState) hierarchy(cfg memsys.Config) (*memsys.Hierarchy, error) {
+	if ws.h != nil && ws.h.ResetFor(cfg) {
+		return ws.h, nil
+	}
+	h, err := memsys.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ws.h = h
+	return h, nil
+}
+
 // runPoint executes one point with the retry budget, filling res in place.
-func (r Runner) runPoint(ctx context.Context, opts Options, res *Result) {
+func (r Runner) runPoint(ctx context.Context, opts Options, shared *gridTrace, ws *workerState, res *Result) {
 	backoff := opts.Backoff
 	for attempt := 0; ; attempt++ {
 		if ctx.Err() != nil {
@@ -145,7 +203,7 @@ func (r Runner) runPoint(ctx context.Context, opts Options, res *Result) {
 			return
 		}
 		res.Attempts = attempt + 1
-		run, err := r.runOnce(ctx, opts.PointTimeout, res.Point)
+		run, err := r.runOnce(ctx, opts.PointTimeout, res.Point, shared, ws)
 		if err == nil {
 			res.Run, res.Err = run, nil
 			return
@@ -170,10 +228,14 @@ func (r Runner) runPoint(ctx context.Context, opts Options, res *Result) {
 }
 
 // runOnce performs a single simulation attempt, converting panics into a
-// *PanicError and honoring the per-point timeout via the reference stream.
-func (r Runner) runOnce(ctx context.Context, timeout time.Duration, pt Point) (run cpu.Result, err error) {
+// *PanicError and honoring the per-point timeout through the CPU loop's
+// per-batch Interrupt check.
+func (r Runner) runOnce(ctx context.Context, timeout time.Duration, pt Point, shared *gridTrace, ws *workerState) (run cpu.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			// A panic may have left the cached hierarchy mid-update; drop
+			// it so the retry (and later points) start from clean state.
+			ws.h = nil
 			err = &PanicError{Point: pt, Value: p, Stack: debug.Stack()}
 		}
 	}()
@@ -183,21 +245,29 @@ func (r Runner) runOnce(ctx context.Context, timeout time.Duration, pt Point) (r
 		pctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	h, err := memsys.New(r.Configure(pt))
+	h, err := ws.hierarchy(r.Configure(pt))
 	if err != nil {
 		return cpu.Result{}, err
 	}
-	return cpu.Run(h, watch(pctx, r.Trace()), r.CPU)
+	s, err := shared.source()
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	cfg := r.CPU
+	cfg.Interrupt = pctx.Err
+	return cpu.Run(h, s, cfg)
 }
 
-// watchInterval is how many references a simulation consumes between
-// cancellation checks: rare enough to stay off the hot path, frequent
-// enough that SIGINT or a timeout stops a run within microseconds.
+// watchInterval is how many references the materialization pass consumes
+// between cancellation checks: rare enough to stay off the hot path,
+// frequent enough that SIGINT or a timeout stops the decode within
+// microseconds. Simulation itself observes cancellation through the CPU
+// loop's per-batch Interrupt check instead.
 const watchInterval = 1024
 
-// watch wraps a stream so the simulation observes ctx: cancellation or a
+// watch wraps a stream so its consumer observes ctx: cancellation or a
 // deadline surfaces as a stream error every watchInterval references,
-// unwinding cpu.Run without poisoning any shared state.
+// without poisoning any shared state.
 func watch(ctx context.Context, s trace.Stream) trace.Stream {
 	return &watchStream{ctx: ctx, s: s}
 }

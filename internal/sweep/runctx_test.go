@@ -177,7 +177,11 @@ func TestRunContextPointTimeout(t *testing.T) {
 	r := Runner{
 		Configure: testConfigure,
 		Trace:     endless,
-		CPU:       cpu.Config{CycleNS: 10},
+		// An endless trace cannot be materialized into the shared arena;
+		// unbounded streams must opt out of decode-once. The timeout is
+		// then enforced by the CPU loop's per-batch Interrupt check.
+		StreamPerPoint: true,
+		CPU:            cpu.Config{CycleNS: 10},
 	}
 	results, err := r.RunContext(context.Background(), gridPoints(1, 1), Options{
 		PointTimeout: 30 * time.Millisecond,

@@ -75,9 +75,22 @@ type Runner struct {
 	// Configure builds the hierarchy configuration for a point.
 	Configure func(Point) memsys.Config
 	// Trace returns a fresh stream for a run; it must yield the same
-	// references on every call so that points are comparable.
+	// references on every call so that points are comparable. By default
+	// the engine calls it once per grid, materializes the result into a
+	// shared trace.Arena, and hands every point a zero-copy cursor — the
+	// trace is decoded exactly once no matter how many points run. The
+	// stream must therefore be finite; unbounded or won't-fit-in-memory
+	// traces must set StreamPerPoint.
 	Trace func() trace.Stream
-	CPU   cpu.Config
+	// Arena, when non-nil, is used directly as the shared trace and Trace
+	// is never called. Callers running several grids over the same
+	// workload materialize once and share it here.
+	Arena *trace.Arena
+	// StreamPerPoint disables the shared arena: every point calls Trace
+	// afresh, re-decoding or re-generating the workload. The escape hatch
+	// for traces too large to hold in memory.
+	StreamPerPoint bool
+	CPU            cpu.Config
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
 }

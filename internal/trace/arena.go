@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// BatchReader is the bulk counterpart of Stream: ReadRefs fills buf with
+// the next references and returns how many were written. Like io.Reader,
+// it may return n > 0 together with an error (including io.EOF); a return
+// of n == 0 with a nil error is not permitted. Consumers that know about
+// BatchReader (the CPU issue loop) amortize one interface call over a whole
+// batch instead of paying one per reference.
+type BatchReader interface {
+	ReadRefs(buf []Ref) (n int, err error)
+}
+
+// Arena is an immutable in-memory trace, materialized exactly once from any
+// Stream and shared read-only by any number of concurrent simulations. It
+// is the decode-once backbone of the sweep engine: grid points read the
+// same backing array through independent Cursors instead of re-generating
+// or re-decoding the trace per point.
+//
+// An Arena must not be mutated after construction; Cursors assume the
+// backing array never changes.
+type Arena struct {
+	refs []Ref
+}
+
+// Materialize drains s into a new Arena. It returns any error other than
+// io.EOF; the partially materialized prefix is discarded on error.
+func Materialize(s Stream) (*Arena, error) {
+	if a, ok := s.(*Cursor); ok {
+		// A cursor is already arena-backed: share the backing array from
+		// the cursor's current position instead of copying it.
+		return &Arena{refs: a.refs[a.pos:]}, nil
+	}
+	t, err := Collect(s, 0)
+	if err != nil {
+		return nil, fmt.Errorf("trace: materialize: %w", err)
+	}
+	return NewArena(t), nil
+}
+
+// NewArena wraps an existing in-memory trace without copying. The caller
+// must not modify refs afterwards.
+func NewArena(refs []Ref) *Arena { return &Arena{refs: refs} }
+
+// Len returns the number of references in the arena.
+func (a *Arena) Len() int { return len(a.refs) }
+
+// Refs returns the arena's backing slice. It is shared, read-only data:
+// callers must not modify it.
+func (a *Arena) Refs() []Ref { return a.refs }
+
+// Cursor returns a new independent reader positioned at the start of the
+// arena. Cursors are cheap (no copying) and any number may read the same
+// arena concurrently; each individual Cursor is not safe for concurrent
+// use.
+func (a *Arena) Cursor() *Cursor { return &Cursor{refs: a.refs} }
+
+// Cursor reads an Arena sequentially. It implements both Stream (Next) for
+// compatibility with every existing consumer and BatchReader (ReadRefs)
+// for the allocation-free hot path.
+type Cursor struct {
+	refs []Ref
+	pos  int
+}
+
+// Next returns the next reference, implementing Stream.
+func (c *Cursor) Next() (Ref, error) {
+	if c.pos >= len(c.refs) {
+		return Ref{}, io.EOF
+	}
+	r := c.refs[c.pos]
+	c.pos++
+	return r, nil
+}
+
+// ReadRefs copies the next references into buf, implementing BatchReader.
+// It returns io.EOF (with n == 0) once the arena is exhausted.
+func (c *Cursor) ReadRefs(buf []Ref) (int, error) {
+	if c.pos >= len(c.refs) {
+		return 0, io.EOF
+	}
+	n := copy(buf, c.refs[c.pos:])
+	c.pos += n
+	return n, nil
+}
+
+// Remaining returns how many references are left to read.
+func (c *Cursor) Remaining() int { return len(c.refs) - c.pos }
+
+// Reset rewinds the cursor to the start of the arena.
+func (c *Cursor) Reset() { c.pos = 0 }

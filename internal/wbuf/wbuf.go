@@ -35,13 +35,25 @@ type entry struct {
 }
 
 // Buffer is a FIFO write buffer. It is not safe for concurrent use.
+//
+// Entries live in a ring allocated once at construction (the buffer's
+// depth is a small hardware constant), so steady-state pushes and drains
+// never allocate — part of the simulator's allocation-free access path.
 type Buffer struct {
 	depth    int
 	ds       Downstream
-	entries  []entry
+	ring     []entry
+	head     int // index of the oldest entry
+	n        int // live entries
 	stats    Stats
 	coalesce bool
 }
+
+// front returns the oldest entry. Callers must ensure n > 0.
+func (b *Buffer) front() entry { return b.ring[b.head] }
+
+// at returns the i-th oldest entry (0 = front). Callers must ensure i < n.
+func (b *Buffer) at(i int) entry { return b.ring[(b.head+i)%len(b.ring)] }
 
 // SetCoalescing enables write coalescing: a push whose block address is
 // already buffered is absorbed by the existing entry instead of consuming
@@ -58,7 +70,11 @@ func New(depth int, ds Downstream) (*Buffer, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("wbuf: downstream must not be nil")
 	}
-	return &Buffer{depth: depth, ds: ds}, nil
+	b := &Buffer{depth: depth, ds: ds}
+	if depth > 0 {
+		b.ring = make([]entry, depth)
+	}
+	return b, nil
 }
 
 // MustNew is New that panics on configuration errors.
@@ -71,7 +87,7 @@ func MustNew(depth int, ds Downstream) *Buffer {
 }
 
 // Len returns the number of buffered entries.
-func (b *Buffer) Len() int { return len(b.entries) }
+func (b *Buffer) Len() int { return b.n }
 
 // Depth returns the buffer capacity.
 func (b *Buffer) Depth() int { return b.depth }
@@ -83,8 +99,9 @@ func (b *Buffer) Stats() Stats { return b.stats }
 // both the entry's ready time and the downstream's free time, and returns
 // the completion time.
 func (b *Buffer) drainOne() int64 {
-	e := b.entries[0]
-	b.entries = b.entries[1:]
+	e := b.front()
+	b.head = (b.head + 1) % len(b.ring)
+	b.n--
 	start := e.ready
 	if f := b.ds.FreeAt(); f > start {
 		start = f
@@ -99,8 +116,8 @@ func (b *Buffer) drainOne() int64 {
 // complete after it — the downstream is then busy when a demand request
 // arrives, exactly the contention the paper models.
 func (b *Buffer) CatchUp(now int64) {
-	for len(b.entries) > 0 {
-		start := b.entries[0].ready
+	for b.n > 0 {
+		start := b.front().ready
 		if f := b.ds.FreeAt(); f > start {
 			start = f
 		}
@@ -118,8 +135,8 @@ func (b *Buffer) Push(addr uint64, now int64) int64 {
 	b.CatchUp(now)
 	b.stats.Pushes++
 	if b.coalesce && b.depth > 0 {
-		for i := range b.entries {
-			if b.entries[i].addr == addr {
+		for i := 0; i < b.n; i++ {
+			if b.at(i).addr == addr {
 				b.stats.Coalesced++
 				return now
 			}
@@ -136,7 +153,7 @@ func (b *Buffer) Push(addr uint64, now int64) int64 {
 		b.stats.StallNS += done - now
 		return done
 	}
-	for len(b.entries) >= b.depth {
+	for b.n >= b.depth {
 		b.stats.FullStalls++
 		done := b.drainOne()
 		if done > now {
@@ -144,14 +161,15 @@ func (b *Buffer) Push(addr uint64, now int64) int64 {
 			now = done
 		}
 	}
-	b.entries = append(b.entries, entry{addr: addr, ready: now})
+	b.ring[(b.head+b.n)%len(b.ring)] = entry{addr: addr, ready: now}
+	b.n++
 	return now
 }
 
 // Contains reports whether a block address is buffered.
 func (b *Buffer) Contains(addr uint64) bool {
-	for _, e := range b.entries {
-		if e.addr == addr {
+	for i := 0; i < b.n; i++ {
+		if b.at(i).addr == addr {
 			return true
 		}
 	}
@@ -164,8 +182,8 @@ func (b *Buffer) Contains(addr uint64) bool {
 // no match it returns now unchanged.
 func (b *Buffer) FlushMatch(addr uint64, now int64) int64 {
 	idx := -1
-	for i, e := range b.entries {
-		if e.addr == addr {
+	for i := 0; i < b.n; i++ {
+		if b.at(i).addr == addr {
 			idx = i
 			break
 		}
@@ -188,7 +206,7 @@ func (b *Buffer) FlushMatch(addr uint64, now int64) int64 {
 // write (or now when the buffer is empty).
 func (b *Buffer) FlushAll(now int64) int64 {
 	var done int64
-	for len(b.entries) > 0 {
+	for b.n > 0 {
 		done = b.drainOne()
 	}
 	if done > now {
@@ -199,6 +217,6 @@ func (b *Buffer) FlushAll(now int64) int64 {
 
 // Reset discards all entries and counters.
 func (b *Buffer) Reset() {
-	b.entries = b.entries[:0]
+	b.head, b.n = 0, 0
 	b.stats = Stats{}
 }
