@@ -5,10 +5,17 @@
 // calibrated synthetic trace — decoding the trace once into an arena and
 // timing the simulation passes alone.
 //
+// With -baseline it also enforces a trend gate: if measured throughput
+// falls below baseline_refs_per_sec × tolerance, benchjson exits non-zero
+// and the CI build fails instead of silently recording the regression.
+// The output JSON is deliberately free of timestamps and other
+// run-identifying noise, so artifacts from identical runs diff clean.
+//
 // Usage:
 //
 //	benchjson                        # writes BENCH_simulator.json
 //	benchjson -n 500000 -runs 5 -o bench.json
+//	benchjson -baseline BENCH_baseline.json -tolerance 0.85
 package main
 
 import (
@@ -28,24 +35,56 @@ import (
 )
 
 // result is the JSON schema; field names are stable so downstream tooling
-// can diff files across commits.
+// can diff files across commits. It intentionally carries no timestamp:
+// two identical runs must produce byte-identical files.
 type result struct {
 	Name       string  `json:"name"`
 	Refs       int64   `json:"refs"`
 	Runs       int     `json:"runs"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	RefsPerSec float64 `json:"refs_per_sec"`
-	UnixTime   int64   `json:"unix_time"`
+}
+
+// gate compares a measurement against a baseline: it returns an error when
+// current throughput is below baseline × tolerance. A faster-than-baseline
+// run always passes — the gate is a floor, not a pin.
+func gate(current, baseline result, tolerance float64) error {
+	if tolerance <= 0 || tolerance > 1 {
+		return fmt.Errorf("tolerance %.3f out of (0, 1]", tolerance)
+	}
+	if baseline.RefsPerSec <= 0 {
+		return fmt.Errorf("baseline %q has non-positive refs_per_sec %.1f", baseline.Name, baseline.RefsPerSec)
+	}
+	floor := baseline.RefsPerSec * tolerance
+	if current.RefsPerSec < floor {
+		return fmt.Errorf("throughput regression: %.0f refs/s is below %.0f (baseline %.0f x tolerance %.2f)",
+			current.RefsPerSec, floor, baseline.RefsPerSec, tolerance)
+	}
+	return nil
+}
+
+func loadBaseline(path string) (result, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return result{}, err
+	}
+	var r result
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return result{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return r, nil
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		n    = flag.Int64("n", 200_000, "trace length in references")
-		runs = flag.Int("runs", 3, "simulation passes to time (best pass is reported)")
-		seed = flag.Int64("seed", 1, "workload seed")
-		out  = flag.String("o", "BENCH_simulator.json", "output file")
+		n         = flag.Int64("n", 200_000, "trace length in references")
+		runs      = flag.Int("runs", 3, "simulation passes to time (best pass is reported)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		out       = flag.String("o", "BENCH_simulator.json", "output file")
+		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty = record only)")
+		tolerance = flag.Float64("tolerance", 0.85, "fail when refs_per_sec < baseline x tolerance")
 	)
 	flag.Parse()
 
@@ -82,7 +121,6 @@ func main() {
 		Runs:       *runs,
 		ElapsedSec: best.Seconds(),
 		RefsPerSec: float64(refs) / best.Seconds(),
-		UnixTime:   time.Now().Unix(),
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -93,4 +131,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %.0f refs/s (%d refs, best of %d)\n", *out, r.RefsPerSec, refs, *runs)
+
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gate(r, base, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gate ok: %.0f refs/s >= %.0f (baseline %.0f x %.2f)\n",
+			r.RefsPerSec, base.RefsPerSec**tolerance, base.RefsPerSec, *tolerance)
+	}
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func measured(refsPerSec float64) result {
+	return result{
+		Name:       "SimulatorThroughput",
+		Refs:       200_000,
+		Runs:       3,
+		ElapsedSec: 200_000 / refsPerSec,
+		RefsPerSec: refsPerSec,
+	}
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance check for the CI
+// trend gate: against a doctored baseline where current throughput
+// represents a ~30% regression, the 0.85-tolerance gate must fail the
+// build; at (or above) current performance it must pass.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	const tol = 0.85
+	current := measured(7_000_000)
+
+	// Doctored baseline: the "previous commit" was ~43% faster, i.e. the
+	// current run is a ~30% throughput regression. 0.70 < 0.85 → fail.
+	doctored := measured(10_000_000)
+	if err := gate(current, doctored, tol); err == nil {
+		t.Fatal("gate passed a ~30% regression at tolerance 0.85")
+	} else if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate error does not name the regression: %v", err)
+	}
+
+	// Identical performance passes.
+	if err := gate(current, current, tol); err != nil {
+		t.Fatalf("gate failed identical performance: %v", err)
+	}
+	// A small (10%) dip within tolerance passes.
+	if err := gate(measured(9_000_000), doctored, tol); err != nil {
+		t.Fatalf("gate failed a within-tolerance dip: %v", err)
+	}
+	// An improvement passes.
+	if err := gate(measured(20_000_000), doctored, tol); err != nil {
+		t.Fatalf("gate failed an improvement: %v", err)
+	}
+	// Exactly at the floor passes (gate is strict-less-than).
+	if err := gate(measured(10_000_000*tol), doctored, tol); err != nil {
+		t.Fatalf("gate failed at the exact floor: %v", err)
+	}
+}
+
+func TestGateRejectsBadInputs(t *testing.T) {
+	cur := measured(1_000_000)
+	if err := gate(cur, cur, 0); err == nil {
+		t.Fatal("gate accepted tolerance 0")
+	}
+	if err := gate(cur, cur, 1.5); err == nil {
+		t.Fatal("gate accepted tolerance > 1")
+	}
+	if err := gate(cur, result{Name: "x"}, 0.85); err == nil {
+		t.Fatal("gate accepted a baseline without refs_per_sec")
+	}
+}
+
+// TestLoadCheckedInBaseline pins the repo's BENCH_baseline.json to the
+// schema the gate reads: if a rename or a stray timestamp field sneaks in,
+// this fails before CI does.
+func TestLoadCheckedInBaseline(t *testing.T) {
+	base, err := loadBaseline(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Name != "SimulatorThroughput" {
+		t.Fatalf("baseline name %q", base.Name)
+	}
+	if base.RefsPerSec <= 0 {
+		t.Fatalf("baseline refs_per_sec %.1f", base.RefsPerSec)
+	}
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timestamps made otherwise-identical runs non-diffable once; keep
+	// them out of the schema.
+	for _, banned := range []string{"unix_time", "time", "date"} {
+		if strings.Contains(string(raw), "\""+banned+"\"") {
+			t.Fatalf("baseline contains run-identifying field %q", banned)
+		}
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loadBaseline read a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil {
+		t.Fatal("loadBaseline accepted malformed JSON")
+	}
+}

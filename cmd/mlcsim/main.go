@@ -7,10 +7,13 @@
 // Usage:
 //
 //	mlcsim -config machine.cfg -trace refs.trc
+//	mlcsim -config machine.cfg -trace refs.mlca
 //	mlcsim -config machine.cfg -synth -n 2000000
 //
 // Trace files use the text codec by default, the binary codec for files
-// ending in .bin or .mlct.
+// ending in .bin or .mlct, and the mmap artifact codec for files ending in
+// .mlca (opened with zero decode work and shared page-cache across
+// concurrent mlcsim/sweep processes).
 package main
 
 import (
@@ -18,7 +21,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"mlcache/internal/config"
 	"mlcache/internal/cpu"
@@ -79,17 +81,18 @@ func main() {
 	if *useSynth {
 		s = synth.PaperStream(*seed, *n)
 	} else {
-		tf, err := os.Open(*tracePath)
+		ts, closer, err := trace.OpenPath(*tracePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer tf.Close()
-		if strings.HasSuffix(*tracePath, ".bin") || strings.HasSuffix(*tracePath, ".mlct") {
-			s = trace.NewBinaryReader(tf)
-		} else {
-			s = trace.NewTextReader(tf)
-		}
+		defer closer.Close()
+		s = ts
 		if *lenient != 0 {
+			if trace.IsArtifactPath(*tracePath) {
+				// Artifacts are checksum-validated whole at open; there is
+				// no per-record corruption left to skip.
+				log.Print("note: -lenient has no effect on artifact traces")
+			}
 			ls := trace.Lenient(s, *lenient)
 			s = ls
 			if sk, ok := ls.(interface{ Skips() int64 }); ok {

@@ -8,12 +8,21 @@
 // completed points are journaled so an interrupted run (Ctrl-C, crash,
 // timeout) can continue where it left off with -resume.
 //
+// Instead of the synthetic workload, -trace simulates a trace file; an
+// .mlca artifact (see cmd/tracegen -format artifact) is mmap-ed straight
+// into arena form, so several sweep processes opening the same artifact
+// share one page-cache copy and pay zero decode work. -shard i/n runs only
+// the i-th of n disjoint partitions of the grid — launch n processes with
+// the same artifact and shards 0/n .. n-1/n to split a sweep across
+// processes or machines.
+//
 // Usage:
 //
 //	sweep -sizes 16-4096 -cycles 1-10 -assoc 1 -n 1000000
 //	sweep -sizes 64-1024 -cycles 2-6 -assoc 2 -l1 32 -csv > out.csv
 //	sweep -sizes 16-4096 -cycles 1-10 -checkpoint run.ckpt
 //	sweep -sizes 16-4096 -cycles 1-10 -checkpoint run.ckpt -resume
+//	sweep -trace mix.mlca -shard 0/4 -csv > shard0.csv
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"mlcache/internal/prof"
 	"mlcache/internal/report"
 	"mlcache/internal/sweep"
+	"mlcache/internal/trace"
 )
 
 func main() {
@@ -49,8 +59,10 @@ func main() {
 		assoc     = flag.Int("assoc", 1, "L2 associativity (0 = fully associative)")
 		l1        = flag.Int("l1", 4, "total L1 size in KB (split I+D)")
 		slow      = flag.Bool("slowmem", false, "use the 2x slower main memory")
-		n         = flag.Int64("n", 1_000_000, "trace length in references")
+		n         = flag.Int64("n", 1_000_000, "trace length in references (with -trace: 0 = whole file, else a cap)")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		tracePath = flag.String("trace", "", "trace file to sweep (text/binary/artifact by suffix; default: synthetic workload)")
+		shardArg  = flag.String("shard", "", "run only shard i of n of the grid, as i/n (e.g. 0/4)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 
 		par      = flag.Int("par", 0, "concurrent simulations (0 = GOMAXPROCS)")
@@ -81,6 +93,10 @@ func main() {
 	if *resume && *ckptPath == "" {
 		log.Fatal("-resume needs -checkpoint")
 	}
+	shardI, shardN, err := sweep.ParseShard(*shardArg)
+	if err != nil {
+		log.Fatalf("bad -shard: %v", err)
+	}
 
 	// SIGINT/SIGTERM cancel the sweep; in-flight points stop at the next
 	// stream check and completed work is kept (and journaled).
@@ -91,7 +107,6 @@ func main() {
 	if *slow {
 		mem = mainmem.Slow()
 	}
-	opt := experiments.Options{Seed: *seed, Refs: *n, Warmup: *n / 5}
 	grid := sweep.Grid{
 		SizesBytes: sweep.SizesPow2(loS, hiS),
 		CyclesNS:   sweep.CyclesRange(int(loC), int(hiC), experiments.CPUCycleNS),
@@ -103,14 +118,34 @@ func main() {
 			cfg.CheckInvariants = *check
 			return cfg
 		},
-		Trace: opt.Stream,
-		CPU:   opt.CPU(),
+	}
+	if *tracePath != "" {
+		// An artifact is mmap-ed zero-copy (shared page cache between
+		// shards on one machine); other codecs are decoded once here.
+		arena, closer, err := trace.LoadArena(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer.Close()
+		if *n > 0 && int64(arena.Len()) > *n {
+			arena = trace.NewArena(arena.Refs()[:*n])
+		}
+		runner.Arena = arena
+		runner.CPU = experiments.Options{Warmup: int64(arena.Len()) / 5}.CPU()
+	} else {
+		opt := experiments.Options{Seed: *seed, Refs: *n, Warmup: *n / 5}
+		runner.Trace = opt.Stream
+		runner.CPU = opt.CPU()
 	}
 	var pts []sweep.Point
 	for _, s := range grid.SizesBytes {
 		for _, c := range grid.CyclesNS {
 			pts = append(pts, sweep.Point{L2SizeBytes: s, L2CycleNS: c, L2Assoc: *assoc})
 		}
+	}
+	if shardN > 1 {
+		pts = sweep.Shard(pts, shardI, shardN)
+		log.Printf("shard %d/%d: %d of %d grid points", shardI, shardN, len(pts), len(grid.SizesBytes)*len(grid.CyclesNS))
 	}
 
 	// Salvage prior results and open the journal.

@@ -1,11 +1,16 @@
 // Command tracegen writes reference traces to a file, either from the
 // synthetic multiprogramming model or from one of the deterministic
-// program-like kernels. Output uses the text codec, or the compact binary
-// codec for paths ending in .bin or .mlct.
+// program-like kernels. Three output codecs are supported, chosen by
+// -format or inferred from the output suffix: the Dinero-style text form,
+// the compact delta-varint binary form (.bin/.mlct), and the fixed-width
+// mmap artifact (.mlca) that cmd/mlcsim and cmd/sweep open with zero
+// decode work — the format to use when many processes will share one
+// trace.
 //
 // Usage:
 //
 //	tracegen -kind mix -n 1000000 -o mix.mlct
+//	tracegen -kind mix -n 5000000 -format artifact -o mix.mlca
 //	tracegen -kind matmul -param 64 -o mm.trc
 //	tracegen -kind chase -param 4096 -n 100000 -o chase.trc
 //	tracegen -kind stream -param 8192 -o stream.trc
@@ -19,7 +24,6 @@ import (
 	"io"
 	"log"
 	"os"
-	"strings"
 
 	"mlcache/internal/synth"
 	"mlcache/internal/trace"
@@ -30,11 +34,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		kind  = flag.String("kind", "mix", "workload: mix | matmul | chase | stream | qsort")
-		n     = flag.Int64("n", 1_000_000, "references to emit (mix and chase; others are sized by -param)")
-		param = flag.Int("param", 64, "kernel size parameter (matrix N, nodes, elements, keys)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("o", "", "output path (required)")
+		kind   = flag.String("kind", "mix", "workload: mix | matmul | chase | stream | qsort")
+		n      = flag.Int64("n", 1_000_000, "references to emit (mix and chase; others are sized by -param)")
+		param  = flag.Int("param", 64, "kernel size parameter (matrix N, nodes, elements, keys)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "", "output path (required)")
+		format = flag.String("format", "auto", "output codec: auto | text | binary | artifact")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -46,16 +51,60 @@ func main() {
 		log.Fatal(err)
 	}
 
-	f, err := os.Create(*out)
+	f := *format
+	if f == "auto" {
+		switch {
+		case trace.IsArtifactPath(*out):
+			f = "artifact"
+		case trace.IsBinaryPath(*out):
+			f = "binary"
+		default:
+			f = "text"
+		}
+	}
+
+	var count int64
+	switch f {
+	case "artifact":
+		count, err = writeArtifact(*out, s)
+	case "text", "binary":
+		count, err = writeStream(*out, f, s)
+	default:
+		err = fmt.Errorf("unknown format %q", f)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d references to %s (%s)\n", count, *out, f)
+}
+
+// writeArtifact materializes the stream and emits the fixed-width mmap
+// artifact. The whole trace is held in memory once — the same requirement
+// every artifact consumer has.
+func writeArtifact(path string, s trace.Stream) (int64, error) {
+	arena, err := trace.Materialize(s)
+	if err != nil {
+		return 0, err
+	}
+	if err := trace.WriteArtifact(path, arena); err != nil {
+		return 0, err
+	}
+	return int64(arena.Len()), nil
+}
+
+// writeStream streams references through the text or binary codec without
+// materializing the trace.
+func writeStream(path, format string, s trace.Stream) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
 	}
 	defer f.Close()
 	bw := bufio.NewWriter(f)
 
 	var write func(trace.Ref) error
 	var flush func() error
-	if strings.HasSuffix(*out, ".bin") || strings.HasSuffix(*out, ".mlct") {
+	if format == "binary" {
 		w := trace.NewBinaryWriter(bw)
 		write, flush = w.Write, w.Flush
 	} else {
@@ -70,20 +119,20 @@ func main() {
 			break
 		}
 		if err != nil {
-			log.Fatal(err)
+			return count, err
 		}
 		if err := write(r); err != nil {
-			log.Fatal(err)
+			return count, err
 		}
 		count++
 	}
 	if err := flush(); err != nil {
-		log.Fatal(err)
+		return count, err
 	}
 	if err := bw.Flush(); err != nil {
-		log.Fatal(err)
+		return count, err
 	}
-	fmt.Printf("wrote %d references to %s\n", count, *out)
+	return count, nil
 }
 
 func buildStream(kind string, n int64, param int, seed int64) (trace.Stream, error) {

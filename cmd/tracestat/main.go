@@ -1,8 +1,8 @@
 // Command tracestat measures the locality statistics of a reference trace:
 // the reference mix, and solo read miss ratios across a range of cache
 // sizes, with the per-doubling miss reduction factor (the paper reports
-// ≈0.69 for its traces). It reads a trace file (text or binary codec) or
-// generates the default synthetic workload.
+// ≈0.69 for its traces). It reads a trace file (text, binary, or mmap
+// artifact codec, by suffix) or generates the default synthetic workload.
 //
 // Usage:
 //
@@ -15,8 +15,6 @@ import (
 	"io"
 	"log"
 	"math"
-	"os"
-	"strings"
 
 	"mlcache/internal/cache"
 	"mlcache/internal/classify"
@@ -48,12 +46,12 @@ func main() {
 
 	var s trace.Stream
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+		ts, closer, err := trace.OpenPath(*traceFile)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		s = openTrace(f, *traceFile)
+		defer closer.Close()
+		s = ts
 	} else {
 		mix := synth.PaperMix(*seed)
 		if *procs > 0 {
@@ -225,11 +223,4 @@ func printMix(counts trace.Counts) {
 		100*float64(counts.IFetch)/float64(counts.Total()),
 		100*float64(counts.Load)/float64(counts.Total()),
 		100*float64(counts.Store)/float64(counts.Total()))
-}
-
-func openTrace(f *os.File, name string) trace.Stream {
-	if strings.HasSuffix(name, ".bin") || strings.HasSuffix(name, ".mlct") {
-		return trace.NewBinaryReader(f)
-	}
-	return trace.NewTextReader(f)
 }

@@ -1,0 +1,64 @@
+package cpu_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+// TestArtifactPathEquivalence pins the artifact pipeline end to end: a
+// trace written as an MLCA artifact and re-opened (mmap zero-copy when the
+// platform allows) must drive the simulator to bit-identical results
+// against both the stream-decoded MLCT binary form of the same trace and
+// the in-process generator, for every hierarchy shape of the equivalence
+// suite. Any divergence means the fixed-width codec, the mmap cast, or the
+// open-time validation altered reference content.
+func TestArtifactPathEquivalence(t *testing.T) {
+	// One trace, three routes to the issue loop.
+	refs, err := trace.Collect(synth.PaperStream(1, equivRefs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "equiv.mlca")
+	if err := trace.WriteArtifact(path, trace.NewArena(refs)); err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := trace.OpenArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer artifact.Close()
+	if artifact.Len() != len(refs) {
+		t.Fatalf("artifact has %d refs, want %d", artifact.Len(), len(refs))
+	}
+
+	var enc bytes.Buffer
+	bw := trace.NewBinaryWriter(&enc)
+	for _, r := range refs {
+		if err := bw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			streamDecoded := runOn(t, cfg, trace.NewBinaryReader(bytes.NewReader(enc.Bytes())))
+			fromArtifact := runOn(t, cfg, artifact.Arena().Cursor())
+			if !reflect.DeepEqual(streamDecoded, fromArtifact) {
+				t.Fatalf("artifact-backed run diverged from stream-decoded run:\nstream:   %+v\nartifact: %+v",
+					streamDecoded, fromArtifact)
+			}
+			generated := runOn(t, cfg, synth.PaperStream(1, equivRefs))
+			if !reflect.DeepEqual(generated, fromArtifact) {
+				t.Fatalf("artifact-backed run diverged from generated-stream run")
+			}
+		})
+	}
+}

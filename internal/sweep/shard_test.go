@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"testing"
+)
+
+func shardTestPoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{L2SizeBytes: int64(i+1) * 1024, L2CycleNS: int64(i + 1), L2Assoc: 1}
+	}
+	return pts
+}
+
+// TestShardPartition: the shards of any n partition the grid — disjoint,
+// complete, order-preserving within a shard, and balanced to within one
+// point.
+func TestShardPartition(t *testing.T) {
+	for _, total := range []int{0, 1, 7, 110} {
+		pts := shardTestPoints(total)
+		for _, n := range []int{1, 2, 3, 8} {
+			seen := map[Point]int{}
+			min, max := total+1, -1
+			for i := 0; i < n; i++ {
+				sh := Shard(pts, i, n)
+				if len(sh) < min {
+					min = len(sh)
+				}
+				if len(sh) > max {
+					max = len(sh)
+				}
+				prev := -1
+				for _, p := range sh {
+					seen[p]++
+					idx := int(p.L2CycleNS) - 1
+					if idx <= prev {
+						t.Fatalf("total=%d n=%d shard %d out of grid order", total, n, i)
+					}
+					prev = idx
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("total=%d n=%d: shards cover %d points", total, n, len(seen))
+			}
+			for p, c := range seen {
+				if c != 1 {
+					t.Fatalf("total=%d n=%d: point %v in %d shards", total, n, p, c)
+				}
+			}
+			if total > 0 && max-min > 1 {
+				t.Fatalf("total=%d n=%d: shard sizes range %d..%d", total, n, min, max)
+			}
+		}
+	}
+}
+
+func TestShardWholeGridIsIdentity(t *testing.T) {
+	pts := shardTestPoints(5)
+	sh := Shard(pts, 0, 1)
+	if len(sh) != len(pts) {
+		t.Fatalf("1-shard split returned %d of %d points", len(sh), len(pts))
+	}
+	for i := range pts {
+		if sh[i] != pts[i] {
+			t.Fatalf("point %d reordered", i)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in   string
+		i, n int
+		ok   bool
+	}{
+		{"", 0, 1, true},
+		{"0/1", 0, 1, true},
+		{"0/4", 0, 4, true},
+		{"3/4", 3, 4, true},
+		{"4/4", 0, 0, false},
+		{"-1/4", 0, 0, false},
+		{"1/0", 0, 0, false},
+		{"1", 0, 0, false},
+		{"a/b", 0, 0, false},
+		{"0/4x", 0, 0, false},
+	}
+	for _, c := range cases {
+		i, n, err := ParseShard(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseShard(%q): err=%v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && (i != c.i || n != c.n) {
+			t.Fatalf("ParseShard(%q) = %d/%d, want %d/%d", c.in, i, n, c.i, c.n)
+		}
+	}
+}

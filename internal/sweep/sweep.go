@@ -9,6 +9,8 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"mlcache/internal/cpu"
 	"mlcache/internal/memsys"
@@ -58,6 +60,50 @@ func SizesPow2(loKB, hiKB int64) []int64 {
 		out = append(out, kb*1024)
 	}
 	return out
+}
+
+// Shard returns shard i of n from a point list: the points at indices
+// congruent to i mod n, in grid order. Several processes sharing one
+// mmap-ed trace artifact each take a distinct shard and together cover the
+// grid exactly once. The stride-n selection keeps two properties of the
+// size-major enumeration: big-cache points (the slow ones) spread evenly
+// across shards, and consecutive points within a shard usually share cache
+// geometry, so the per-worker ResetFor reuse still hits. Shard panics on
+// an invalid shard spec; callers validate user input with ParseShard.
+func Shard(pts []Point, i, n int) []Point {
+	if n < 1 || i < 0 || i >= n {
+		panic(fmt.Sprintf("sweep: shard %d/%d out of range", i, n))
+	}
+	if n == 1 {
+		return pts
+	}
+	out := make([]Point, 0, (len(pts)+n-1-i)/n)
+	for j := i; j < len(pts); j += n {
+		out = append(out, pts[j])
+	}
+	return out
+}
+
+// ParseShard parses an "i/n" shard spec (e.g. "0/4"): n total shards,
+// taking the i-th, 0 ≤ i < n. The empty string means the whole grid (0/1).
+func ParseShard(s string) (i, n int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q is not i/n", s)
+	}
+	if i, err = strconv.Atoi(is); err != nil {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: %w", s, err)
+	}
+	if n, err = strconv.Atoi(ns); err != nil {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: %w", s, err)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("sweep: shard %d/%d out of range", i, n)
+	}
+	return i, n, nil
 }
 
 // CyclesRange returns cycle times from lo to hi CPU cycles inclusive, in

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenArtifact take the copying fallback on platforms
+// without a memory-mapping syscall wired up.
+var errNoMmap = errors.New("trace: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the page cache
+// backs every process that opens the same artifact. The returned unmap
+// must be called exactly once; the mapped bytes are invalid afterwards.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("trace: cannot map %d bytes", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

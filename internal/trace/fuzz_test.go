@@ -99,6 +99,68 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzArtifactRoundTrip checks the fixed-width artifact codec: any
+// reference sequence survives marshal/unmarshal exactly, and the decoder
+// classifies arbitrary bytes — truncations, bad magic, flipped checksums,
+// damaged records — as ErrCorrupt without ever panicking or silently
+// accepting altered content.
+func FuzzArtifactRoundTrip(f *testing.F) {
+	f.Add(fuzzBytesFromRefs(sampleRefs(30)), uint16(0), byte(0))
+	f.Add(fuzzBytesFromRefs(Trace{
+		{Kind: IFetch, Addr: 0},
+		{Kind: Store, Addr: 1<<64 - 1, PID: 65535},
+		{Kind: Load, Addr: 0x7FFFFFFFFFFFFFFF},
+	}), uint16(5), byte(0xFF))
+	f.Add(marshalArtifact(sampleRefs(4)), uint16(17), byte(0x01))
+	f.Add([]byte("MLCA\x01"), uint16(2), byte(0x80))
+	f.Add([]byte{}, uint16(0), byte(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16, flip byte) {
+		// Property 1: marshal/unmarshal is the identity.
+		refs := refsFromFuzzBytes(data)
+		enc := marshalArtifact(refs)
+		got, err := unmarshalArtifact(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("round trip: %d refs in, %d out", len(refs), len(got))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("ref %d: %v != %v", i, got[i], refs[i])
+			}
+		}
+
+		// Property 2: the decoder survives the raw fuzz bytes — errors must
+		// be ErrCorrupt, never a panic or another error class.
+		if _, err := unmarshalArtifact(data); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decoder error is not ErrCorrupt: %v", err)
+		}
+
+		// Property 3: single-byte damage to a valid artifact either leaves
+		// it byte-identical (flip == 0) or is rejected — the checksum and
+		// size checks must not let altered content through.
+		if len(enc) > 0 {
+			dam := append([]byte(nil), enc...)
+			dam[int(pos)%len(dam)] ^= flip
+			if flip != 0 {
+				if _, err := unmarshalArtifact(dam); err == nil {
+					t.Fatalf("decoder accepted artifact with byte %d flipped by %#x", int(pos)%len(dam), flip)
+				}
+			}
+		}
+
+		// Property 4: truncations of a valid artifact never decode.
+		if len(enc) > 1 {
+			cut := int(pos) % len(enc)
+			if _, err := unmarshalArtifact(enc[:cut]); err == nil && cut != len(enc) {
+				t.Fatalf("decoder accepted a %d-byte truncation of a %d-byte artifact", cut, len(enc))
+			}
+		}
+	})
+}
+
 // FuzzTextReader checks that the text parser never panics, classifies every
 // failure as corruption, and that whatever it accepts survives a
 // write/re-read round trip.

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"io"
+	"os"
+	"strings"
+)
+
+// Trace files are routed by suffix everywhere in the toolchain:
+// ".mlca" is the fixed-width mmap artifact, ".bin"/".mlct" the compact
+// delta-varint binary codec, anything else the text codec.
+
+// IsArtifactPath reports whether path names an artifact file.
+func IsArtifactPath(path string) bool { return strings.HasSuffix(path, ".mlca") }
+
+// IsBinaryPath reports whether path names a binary-codec file.
+func IsBinaryPath(path string) bool {
+	return strings.HasSuffix(path, ".bin") || strings.HasSuffix(path, ".mlct")
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// OpenPath opens a trace file of any codec, routed by suffix, and returns
+// a stream over it plus the resource to close when done. Artifact-backed
+// streams are zero-copy cursors over the mapped file; closing invalidates
+// them.
+func OpenPath(path string) (Stream, io.Closer, error) {
+	if IsArtifactPath(path) {
+		a, err := OpenArtifact(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a.Arena().Cursor(), a, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if IsBinaryPath(path) {
+		return NewBinaryReader(f), f, nil
+	}
+	return NewTextReader(f), f, nil
+}
+
+// LoadArena loads an entire trace file into an Arena, routed by suffix.
+// Artifacts are opened zero-copy (the arena aliases the mapped file until
+// the closer is closed); other codecs are decoded once into memory and
+// the returned closer is a no-op.
+func LoadArena(path string) (*Arena, io.Closer, error) {
+	if IsArtifactPath(path) {
+		a, err := OpenArtifact(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a.Arena(), a, nil
+	}
+	s, c, err := OpenPath(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	arena, err := Materialize(s)
+	if cerr := c.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return arena, nopCloser{}, nil
+}
