@@ -95,7 +95,7 @@ func main() {
 			}
 			ls := trace.Lenient(s, *lenient)
 			s = ls
-			if sk, ok := ls.(interface{ Skips() int64 }); ok {
+			if sk, ok := ls.(trace.SkipCounter); ok {
 				skips = sk.Skips
 			}
 		}

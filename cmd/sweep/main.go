@@ -16,6 +16,13 @@
 // the same artifact and shards 0/n .. n-1/n to split a sweep across
 // processes or machines.
 //
+// For coordinated multi-machine sweeps, -serve runs a coordinator that
+// leases grid shards to workers over HTTP and merges their results
+// (byte-identical to a single-process run); -join runs a worker against a
+// coordinator. Leases expire and are retried elsewhere when a worker dies,
+// stragglers are speculatively re-executed, and if no workers ever show up
+// the coordinator finishes the grid in-process.
+//
 // Usage:
 //
 //	sweep -sizes 16-4096 -cycles 1-10 -assoc 1 -n 1000000
@@ -23,6 +30,8 @@
 //	sweep -sizes 16-4096 -cycles 1-10 -checkpoint run.ckpt
 //	sweep -sizes 16-4096 -cycles 1-10 -checkpoint run.ckpt -resume
 //	sweep -trace mix.mlca -shard 0/4 -csv > shard0.csv
+//	sweep -trace mix.mlca -serve :9191 -shards 8 -csv > merged.csv
+//	sweep -join coordinator-host:9191
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,14 +50,11 @@ import (
 	"time"
 
 	"mlcache/internal/checkpoint"
+	"mlcache/internal/coord"
 	"mlcache/internal/cpu"
 	"mlcache/internal/experiments"
-	"mlcache/internal/mainmem"
-	"mlcache/internal/memsys"
 	"mlcache/internal/prof"
-	"mlcache/internal/report"
 	"mlcache/internal/sweep"
-	"mlcache/internal/trace"
 )
 
 func main() {
@@ -62,6 +69,7 @@ func main() {
 		n         = flag.Int64("n", 1_000_000, "trace length in references (with -trace: 0 = whole file, else a cap)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		tracePath = flag.String("trace", "", "trace file to sweep (text/binary/artifact by suffix; default: synthetic workload)")
+		lenient   = flag.Int("lenient", 0, "corrupt-record skip budget for non-artifact -trace files (0 = strict)")
 		shardArg  = flag.String("shard", "", "run only shard i of n of the grid, as i/n (e.g. 0/4)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of a table")
 
@@ -73,6 +81,14 @@ func main() {
 		check    = flag.Bool("check", false, "validate cache-state invariants after every access (slow)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		serve         = flag.String("serve", "", "run a sweep coordinator listening on this address (host:port)")
+		join          = flag.String("join", "", "join a coordinator at this address as a worker (grid flags come from the coordinator)")
+		workerID      = flag.String("worker-id", "", "worker name for -join (default host.pid)")
+		shards        = flag.Int("shards", 8, "with -serve: number of shard leases the grid is split into")
+		leaseTTL      = flag.Duration("lease-ttl", 10*time.Second, "with -serve: lease lifetime without a heartbeat before a shard is reassigned")
+		heartbeat     = flag.Duration("heartbeat", 0, "with -serve: worker heartbeat interval (default lease-ttl/5)")
+		localFallback = flag.Duration("local-fallback", 10*time.Second, "with -serve: finish shards in-process if no worker is active for this long (0 = never)")
 	)
 	flag.Parse()
 
@@ -81,6 +97,21 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopProf()
+
+	// SIGINT/SIGTERM cancel the sweep; in-flight points stop at the next
+	// stream check and completed work is kept (and journaled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *join != "" {
+		if *serve != "" {
+			log.Fatal("-serve and -join are mutually exclusive")
+		}
+		if err := runWorker(ctx, *join, *workerID, *par, *retries); err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	loS, hiS, err := parseRange(*sizesArg)
 	if err != nil {
@@ -98,83 +129,187 @@ func main() {
 		log.Fatalf("bad -shard: %v", err)
 	}
 
-	// SIGINT/SIGTERM cancel the sweep; in-flight points stop at the next
-	// stream check and completed work is kept (and journaled).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	spec := coord.JobSpec{
+		SizesBytes:      sweep.SizesPow2(loS, hiS),
+		CyclesNS:        sweep.CyclesRange(int(loC), int(hiC), experiments.CPUCycleNS),
+		Assoc:           *assoc,
+		L1KB:            *l1,
+		SlowMem:         *slow,
+		TracePath:       *tracePath,
+		Refs:            *n,
+		Seed:            *seed,
+		Lenient:         *lenient,
+		CheckInvariants: *check,
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	mem := mainmem.Base()
-	if *slow {
-		mem = mainmem.Slow()
+	if *serve != "" {
+		if shardN > 1 {
+			log.Fatal("-shard splits a local sweep; with -serve use -shards")
+		}
+		cfg := coord.Config{
+			Job:                spec,
+			Shards:             *shards,
+			LeaseTTL:           *leaseTTL,
+			Heartbeat:          *heartbeat,
+			LocalFallbackAfter: *localFallback,
+			LocalParallelism:   *par,
+			Logf:               log.Printf,
+		}
+		code := runCoordinator(ctx, *serve, cfg, *ckptPath, *resume, *csv)
+		stop()
+		stopProf()
+		os.Exit(code)
 	}
-	grid := sweep.Grid{
-		SizesBytes: sweep.SizesPow2(loS, hiS),
-		CyclesNS:   sweep.CyclesRange(int(loC), int(hiC), experiments.CPUCycleNS),
+
+	code := runLocal(ctx, spec, shardI, shardN, localOptions{
+		par: *par, timeout: *timeout, retries: *retries,
+		ckptPath: *ckptPath, resume: *resume, csv: *csv,
+	})
+	stop()
+	stopProf()
+	os.Exit(code)
+}
+
+// runWorker joins a coordinator and simulates leased shards until the grid
+// is done. Every grid parameter comes from the coordinator's job spec.
+func runWorker(ctx context.Context, addr, id string, par, retries int) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
 	}
-	runner := sweep.Runner{
-		Configure: func(pt sweep.Point) memsys.Config {
-			cfg := experiments.BaseMachine(*l1,
-				experiments.L2Config(pt.L2SizeBytes, pt.L2CycleNS, pt.L2Assoc), mem)
-			cfg.CheckInvariants = *check
-			return cfg
-		},
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s.%d", host, os.Getpid())
 	}
-	if *tracePath != "" {
-		// An artifact is mmap-ed zero-copy (shared page cache between
-		// shards on one machine); other codecs are decoded once here.
-		arena, closer, err := trace.LoadArena(*tracePath)
+	w := &coord.Worker{
+		ID:           id,
+		Coordinator:  addr,
+		Parallelism:  par,
+		PointRetries: retries,
+		Logf:         log.Printf,
+	}
+	return w.Run(ctx)
+}
+
+// runCoordinator serves the grid to workers, merges their results, and
+// renders the merged table. With -checkpoint, merged points are journaled
+// exactly like local sweeps, and -resume seeds already-journaled points.
+func runCoordinator(ctx context.Context, addr string, cfg coord.Config, ckptPath string, resume, csv bool) int {
+	pts := cfg.Job.Points()
+	if resume {
+		prior := loadPrior(ckptPath, len(pts))
+		cfg.Prior = map[int]cpu.Result{}
+		for i, pt := range pts {
+			if run, ok := prior[pt.String()]; ok {
+				cfg.Prior[i] = run
+			}
+		}
+	}
+	var journal *checkpoint.Journal
+	if ckptPath != "" {
+		var err error
+		journal, err = checkpoint.Open(ckptPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer closer.Close()
-		if *n > 0 && int64(arena.Len()) > *n {
-			arena = trace.NewArena(arena.Refs()[:*n])
-		}
-		runner.Arena = arena
-		runner.CPU = experiments.Options{Warmup: int64(arena.Len()) / 5}.CPU()
-	} else {
-		opt := experiments.Options{Seed: *seed, Refs: *n, Warmup: *n / 5}
-		runner.Trace = opt.Stream
-		runner.CPU = opt.CPU()
-	}
-	var pts []sweep.Point
-	for _, s := range grid.SizesBytes {
-		for _, c := range grid.CyclesNS {
-			pts = append(pts, sweep.Point{L2SizeBytes: s, L2CycleNS: c, L2Assoc: *assoc})
+		defer journal.Close()
+		cfg.OnResult = func(pt sweep.Point, run cpu.Result) {
+			if err := journal.Append(pt.String(), run); err != nil {
+				log.Printf("checkpoint: %v", err)
+			}
 		}
 	}
+
+	c, err := coord.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	log.Printf("coordinator on %s: %d grid points in %d shards (join with: sweep -join %s)",
+		addr, len(pts), cfg.Shards, addr)
+
+	runErr := c.Run(ctx)
+	select {
+	case err := <-serveErr:
+		// ListenAndServe only returns on failure; surface it (a bad -serve
+		// address would otherwise look like a hang until local fallback).
+		log.Fatalf("serve %s: %v", addr, err)
+	default:
+	}
+	if runErr == nil {
+		// Keep answering for a beat: workers that were sleeping on a wait
+		// poll (capped at 1s) learn the grid is done instead of finding a
+		// dead socket. Workers whose upload finished the grid already know.
+		time.Sleep(1200 * time.Millisecond)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shutCtx)
+
+	if n := c.TraceSkipped(); n > 0 {
+		log.Printf("workers skipped up to %d corrupt trace record(s) during decode", n)
+	}
+	results := c.Results()
+	if err := sweep.WriteTable(os.Stdout, results, experiments.CPUCycleNS, csv); err != nil {
+		log.Fatal(err)
+	}
+	if runErr != nil {
+		done, total := c.Done()
+		msg := fmt.Sprintf("interrupted: %d of %d points done", done, total)
+		if ckptPath != "" {
+			msg += "; rerun with -resume to continue"
+		} else {
+			msg += "; use -checkpoint to make sweeps resumable"
+		}
+		log.Print(msg)
+		return 1
+	}
+	return 0
+}
+
+type localOptions struct {
+	par      int
+	timeout  time.Duration
+	retries  int
+	ckptPath string
+	resume   bool
+	csv      bool
+}
+
+// runLocal is the classic single-process sweep, built on the same job spec
+// and renderer the distributed modes use, so all three produce identical
+// bytes for identical grids.
+func runLocal(ctx context.Context, spec coord.JobSpec, shardI, shardN int, lo localOptions) int {
+	runner, res, err := spec.NewRunner()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Close()
+	if res.TraceSkipped > 0 {
+		log.Printf("trace: skipped %d corrupt record(s) during decode", res.TraceSkipped)
+	}
+	pts := spec.Points()
 	if shardN > 1 {
+		all := len(pts)
 		pts = sweep.Shard(pts, shardI, shardN)
-		log.Printf("shard %d/%d: %d of %d grid points", shardI, shardN, len(pts), len(grid.SizesBytes)*len(grid.CyclesNS))
+		log.Printf("shard %d/%d: %d of %d grid points", shardI, shardN, len(pts), all)
 	}
 
 	// Salvage prior results and open the journal.
 	prior := map[string]cpu.Result{}
-	if *resume {
-		set, err := checkpoint.Load(*ckptPath)
-		switch {
-		case errors.Is(err, os.ErrNotExist):
-			log.Printf("checkpoint %s not found; starting fresh", *ckptPath)
-		case err != nil:
-			log.Fatal(err)
-		default:
-			for key, raw := range set.Records {
-				var run cpu.Result
-				if err := json.Unmarshal(raw, &run); err != nil {
-					log.Printf("checkpoint: record %s unreadable, will re-simulate: %v", key, err)
-					continue
-				}
-				prior[key] = run
-			}
-			if set.Dropped > 0 {
-				log.Printf("checkpoint: dropped %d corrupt record(s)", set.Dropped)
-			}
-			log.Printf("resuming: %d of %d points already simulated", len(prior), len(pts))
-		}
+	if lo.resume {
+		prior = loadPrior(lo.ckptPath, len(pts))
 	}
 	var journal *checkpoint.Journal
-	if *ckptPath != "" {
-		journal, err = checkpoint.Open(*ckptPath)
+	if lo.ckptPath != "" {
+		journal, err = checkpoint.Open(lo.ckptPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -182,9 +317,9 @@ func main() {
 	}
 
 	opts := sweep.Options{
-		Parallelism:  *par,
-		PointTimeout: *timeout,
-		Retries:      *retries,
+		Parallelism:  lo.par,
+		PointTimeout: lo.timeout,
+		Retries:      lo.retries,
 		Backoff:      200 * time.Millisecond,
 	}
 	if len(prior) > 0 {
@@ -202,7 +337,6 @@ func main() {
 	}
 
 	results, runErr := runner.RunContext(ctx, pts, opts)
-	stop() // restore default signal handling while reporting
 
 	// Fill skipped points from the journal so the report covers the whole
 	// grid, and split out the failures.
@@ -220,39 +354,7 @@ func main() {
 		done++
 	}
 
-	t := report.NewTable("L2KB", "cycles", "assoc", "reltime", "CPI", "L2local", "L2global", "status")
-	for _, r := range results {
-		status := "ok"
-		if r.Skipped {
-			status = "ckpt"
-		}
-		if r.Err != nil {
-			t.AddRow(
-				report.SizeLabel(r.Point.L2SizeBytes),
-				strconv.FormatInt(r.Point.L2CycleNS/experiments.CPUCycleNS, 10),
-				strconv.Itoa(r.Point.L2Assoc),
-				"-", "-", "-", "-", "FAILED",
-			)
-			continue
-		}
-		l2 := r.Run.Mem.Down[0]
-		t.AddRow(
-			report.SizeLabel(r.Point.L2SizeBytes),
-			strconv.FormatInt(r.Point.L2CycleNS/experiments.CPUCycleNS, 10),
-			strconv.Itoa(r.Point.L2Assoc),
-			fmt.Sprintf("%.4f", r.Run.RelTime),
-			fmt.Sprintf("%.4f", r.Run.CPI),
-			report.Ratio(l2.LocalReadMissRatio()),
-			report.Ratio(l2.GlobalReadMissRatio(r.Run.CPUReads)),
-			status,
-		)
-	}
-	if *csv {
-		err = t.CSV(os.Stdout)
-	} else {
-		err = t.Render(os.Stdout)
-	}
-	if err != nil {
+	if err := sweep.WriteTable(os.Stdout, results, experiments.CPUCycleNS, lo.csv); err != nil {
 		log.Fatal(err)
 	}
 
@@ -267,19 +369,45 @@ func main() {
 	switch {
 	case runErr != nil:
 		msg := fmt.Sprintf("interrupted: %d of %d points done", done, len(pts))
-		if *ckptPath != "" {
+		if lo.ckptPath != "" {
 			msg += "; rerun with -resume to continue"
 		} else {
 			msg += "; use -checkpoint to make sweeps resumable"
 		}
 		log.Print(msg)
-		stopProf() // os.Exit skips the deferred stop
-		os.Exit(1)
+		return 1
 	case failed > 0:
 		log.Printf("%d of %d points failed", failed, len(pts))
-		stopProf()
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// loadPrior reads a checkpoint journal into point-keyed results; a missing
+// file means a fresh start, anything else is fatal.
+func loadPrior(ckptPath string, total int) map[string]cpu.Result {
+	prior := map[string]cpu.Result{}
+	set, err := checkpoint.Load(ckptPath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		log.Printf("checkpoint %s not found; starting fresh", ckptPath)
+		return prior
+	case err != nil:
+		log.Fatal(err)
+	}
+	for key, raw := range set.Records {
+		var run cpu.Result
+		if err := json.Unmarshal(raw, &run); err != nil {
+			log.Printf("checkpoint: record %s unreadable, will re-simulate: %v", key, err)
+			continue
+		}
+		prior[key] = run
+	}
+	if set.Dropped > 0 {
+		log.Printf("checkpoint: dropped %d corrupt record(s)", set.Dropped)
+	}
+	log.Printf("resuming: %d of %d points already simulated", len(prior), total)
+	return prior
 }
 
 func parseRange(s string) (lo, hi int64, err error) {

@@ -1,0 +1,184 @@
+// Package chaos is a deterministic fault-injection harness for the sweep
+// coordinator protocol: an http.RoundTripper that drops requests, loses
+// responses after delivery, delays them, tears response bodies mid-JSON,
+// or takes a worker's network down permanently — all triggered by request
+// counts, not randomness, so every fault schedule replays exactly. The
+// coordinator tests wrap each worker's HTTP client in a Transport and
+// assert that the merged grid output is byte-identical to a fault-free
+// single-process run under every schedule.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode is what a triggered rule does to the request.
+type Mode int
+
+const (
+	// Drop fails the request before it reaches the server: the classic
+	// lost packet. The server never sees it.
+	Drop Mode = iota
+	// Blackhole delivers the request but loses the response: the server
+	// processed it, the client sees a transport error. The sharpest test
+	// of idempotency — a retried complete must not double-count.
+	Blackhole
+	// Delay sleeps, then delivers normally (a straggling upload).
+	Delay
+	// Torn delivers the request but truncates the response body halfway,
+	// so the client's JSON decode fails mid-object.
+	Torn
+	// Down takes the network down from the trigger onward: every
+	// subsequent request on any path fails. A worker whose transport goes
+	// Down is, from the coordinator's view, dead.
+	Down
+)
+
+var modeNames = [...]string{"drop", "blackhole", "delay", "torn", "down"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Rule injects one fault pattern. Requests whose URL path ends in Path
+// ("" matches everything) are counted per rule; the rule fires on match
+// numbers From..To inclusive (1-based; To == 0 means To = From, a single
+// shot; To < 0 means forever).
+type Rule struct {
+	Path  string
+	From  int
+	To    int
+	Mode  Mode
+	Delay time.Duration
+}
+
+func (r Rule) fires(n int) bool {
+	from := r.From
+	if from <= 0 {
+		from = 1
+	}
+	to := r.To
+	if to == 0 {
+		to = from
+	}
+	return n >= from && (to < 0 || n <= to)
+}
+
+// Transport is the fault-injecting RoundTripper. It is safe for
+// concurrent use; each rule keeps its own match counter.
+type Transport struct {
+	// Base performs real requests; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Rules are checked in order; the first rule that fires wins.
+	Rules []Rule
+	// OnFire, when non-nil, observes every injected fault — tests use it
+	// to kill a worker the moment its network goes down.
+	OnFire func(rule Rule, req *http.Request)
+
+	mu     sync.Mutex
+	counts []int
+	down   bool
+}
+
+// errInjected distinguishes injected faults in logs.
+type errInjected struct {
+	mode Mode
+	path string
+}
+
+func (e *errInjected) Error() string {
+	return fmt.Sprintf("chaos: injected %s on %s", e.mode, e.path)
+}
+
+// RoundTrip applies the first firing rule to the request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	if t.counts == nil {
+		t.counts = make([]int, len(t.Rules))
+	}
+	if t.down {
+		t.mu.Unlock()
+		return nil, &errInjected{Down, req.URL.Path}
+	}
+	var fired *Rule
+	for i := range t.Rules {
+		r := &t.Rules[i]
+		if r.Path != "" && !strings.HasSuffix(req.URL.Path, r.Path) {
+			continue
+		}
+		t.counts[i]++
+		if fired == nil && r.fires(t.counts[i]) {
+			fired = r
+		}
+	}
+	if fired != nil && fired.Mode == Down {
+		t.down = true
+	}
+	t.mu.Unlock()
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if fired == nil {
+		return base.RoundTrip(req)
+	}
+	if t.OnFire != nil {
+		t.OnFire(*fired, req)
+	}
+	switch fired.Mode {
+	case Drop, Down:
+		// The request body is never sent; the server never sees it.
+		return nil, &errInjected{fired.Mode, req.URL.Path}
+	case Blackhole:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &errInjected{Blackhole, req.URL.Path}
+	case Delay:
+		d := fired.Delay
+		if d <= 0 {
+			d = 100 * time.Millisecond
+		}
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+		return base.RoundTrip(req)
+	case Torn:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		// Half the body arrives, then the connection "dies".
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(body[:len(body)/2]),
+			&errReader{io.ErrUnexpectedEOF},
+		))
+		return resp, nil
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r *errReader) Read([]byte) (int, error) { return 0, r.err }

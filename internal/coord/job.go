@@ -1,0 +1,176 @@
+// Package coord distributes a sweep grid across machines: a coordinator
+// partitions the grid into shard leases and hands them to workers over an
+// HTTP/JSON protocol; workers simulate their shards against a local copy of
+// the trace (an mmap-ed .mlca artifact, a decoded trace file, or the
+// synthetic workload) and stream per-point results back with their
+// heartbeats. Robustness is the design center: leases expire and are
+// reassigned with capped exponential backoff, a failed shard is retried on
+// a different worker, stragglers are speculatively re-executed, results
+// merge first-writer-wins keyed by grid index (the engine is
+// bit-deterministic, so duplicates are identical and no fault schedule can
+// double-count or drop a point), and the coordinator degrades to local
+// in-process execution when no workers show up. The merged output is
+// byte-identical to a single-process `sweep -par 1` run.
+package coord
+
+import (
+	"fmt"
+	"io"
+
+	"mlcache/internal/experiments"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/sweep"
+	"mlcache/internal/trace"
+)
+
+// JobSpec is the serializable description of one sweep job: everything a
+// worker needs to reconstruct the exact grid and runner the coordinator
+// would build, so that any subset of the grid computed anywhere merges
+// byte-identically. The coordinator sends it verbatim in the register
+// response. TracePath is resolved on the worker's filesystem — workers on
+// other machines need the trace at the same path (shared filesystem or a
+// copied artifact).
+type JobSpec struct {
+	// SizesBytes × CyclesNS × Assoc define the L2 grid, enumerated
+	// size-major exactly like cmd/sweep.
+	SizesBytes []int64 `json:"sizes_bytes"`
+	CyclesNS   []int64 `json:"cycles_ns"`
+	Assoc      int     `json:"assoc"`
+	// L1KB is the split L1 total size; SlowMem selects the 2x slower main
+	// memory.
+	L1KB    int  `json:"l1_kb"`
+	SlowMem bool `json:"slow_mem,omitempty"`
+	// TracePath names the trace file ("" = synthetic workload from Seed).
+	// Refs caps the trace length (0 with a trace = whole file).
+	TracePath string `json:"trace_path,omitempty"`
+	Refs      int64  `json:"refs"`
+	Seed      int64  `json:"seed"`
+	// Lenient, for non-artifact trace files, is the corrupt-record skip
+	// budget passed to trace.Lenient (0 = strict). The skip count decoded
+	// on each worker surfaces in its reports.
+	Lenient int `json:"lenient,omitempty"`
+	// CheckInvariants enables the per-access cache-state validator.
+	CheckInvariants bool `json:"check_invariants,omitempty"`
+}
+
+// Validate rejects a spec that cannot enumerate a grid.
+func (s JobSpec) Validate() error {
+	if len(s.SizesBytes) == 0 || len(s.CyclesNS) == 0 {
+		return fmt.Errorf("coord: job needs at least one L2 size and one cycle time")
+	}
+	for _, b := range s.SizesBytes {
+		if b <= 0 {
+			return fmt.Errorf("coord: L2 size %d must be positive", b)
+		}
+	}
+	for _, c := range s.CyclesNS {
+		if c <= 0 {
+			return fmt.Errorf("coord: L2 cycle time %d must be positive", c)
+		}
+	}
+	if s.Assoc < 0 {
+		return fmt.Errorf("coord: associativity %d must be non-negative", s.Assoc)
+	}
+	if s.L1KB <= 0 {
+		return fmt.Errorf("coord: L1 size %d KB must be positive", s.L1KB)
+	}
+	if s.TracePath == "" && s.Refs <= 0 {
+		return fmt.Errorf("coord: synthetic workload needs a positive reference count")
+	}
+	return nil
+}
+
+// Grid returns the job's sweep grid.
+func (s JobSpec) Grid() sweep.Grid {
+	return sweep.Grid{SizesBytes: s.SizesBytes, CyclesNS: s.CyclesNS, Assocs: []int{s.Assoc}}
+}
+
+// Points enumerates the grid in the canonical size-major order; a point's
+// position in this slice is its global grid index, the key under which the
+// coordinator merges results.
+func (s JobSpec) Points() []sweep.Point { return s.Grid().Points() }
+
+// Resources owns what a runner built from a spec holds open (the mmap-ed
+// artifact, if any) and reports decode-quality stats.
+type Resources struct {
+	closer io.Closer
+	// TraceSkipped counts corrupt trace records dropped during a lenient
+	// decode (trace.Skips); zero for strict decodes and artifacts.
+	TraceSkipped int64
+}
+
+// Close releases the trace backing.
+func (r *Resources) Close() error {
+	if r.closer == nil {
+		return nil
+	}
+	return r.closer.Close()
+}
+
+// NewRunner builds the sweep runner for the spec — the same construction
+// for the coordinator's local fallback, every worker, and the plain
+// single-process cmd/sweep path, which is what makes their outputs
+// bit-identical.
+func (s JobSpec) NewRunner() (sweep.Runner, *Resources, error) {
+	if err := s.Validate(); err != nil {
+		return sweep.Runner{}, nil, err
+	}
+	mem := mainmem.Base()
+	if s.SlowMem {
+		mem = mainmem.Slow()
+	}
+	r := sweep.Runner{
+		Configure: func(pt sweep.Point) memsys.Config {
+			cfg := experiments.BaseMachine(s.L1KB,
+				experiments.L2Config(pt.L2SizeBytes, pt.L2CycleNS, pt.L2Assoc), mem)
+			cfg.CheckInvariants = s.CheckInvariants
+			return cfg
+		},
+	}
+	res := &Resources{}
+	if s.TracePath != "" {
+		arena, err := s.loadTrace(res)
+		if err != nil {
+			return sweep.Runner{}, nil, err
+		}
+		if s.Refs > 0 && int64(arena.Len()) > s.Refs {
+			arena = trace.NewArena(arena.Refs()[:s.Refs])
+		}
+		r.Arena = arena
+		r.CPU = experiments.Options{Warmup: int64(arena.Len()) / 5}.CPU()
+	} else {
+		opt := experiments.Options{Seed: s.Seed, Refs: s.Refs, Warmup: s.Refs / 5}
+		r.Trace = opt.Stream
+		r.CPU = opt.CPU()
+	}
+	return r, res, nil
+}
+
+// loadTrace opens the job's trace file. Artifacts mmap zero-copy; other
+// codecs decode once, optionally through the lenient corrupt-record
+// skipper, whose skip count lands in res.TraceSkipped.
+func (s JobSpec) loadTrace(res *Resources) (*trace.Arena, error) {
+	if s.Lenient != 0 && !trace.IsArtifactPath(s.TracePath) {
+		stream, closer, err := trace.OpenPath(s.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		ls := trace.Lenient(stream, s.Lenient)
+		arena, err := trace.Materialize(ls)
+		if cerr := closer.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.TraceSkipped, _ = trace.Skips(ls)
+		return arena, nil
+	}
+	arena, closer, err := trace.LoadArena(s.TracePath)
+	if err != nil {
+		return nil, err
+	}
+	res.closer = closer
+	return arena, nil
+}

@@ -1,0 +1,319 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"mlcache/internal/sweep"
+)
+
+// Worker joins a coordinator, builds the job's runner locally, and loops:
+// lease a shard, simulate it (streaming completed points with every
+// heartbeat), upload the full shard, repeat until the coordinator reports
+// the grid done. Every request retries transport faults, 5xx, and torn
+// responses with capped exponential backoff and jitter; a lease revoked
+// mid-shard (heartbeat Cancel) abandons the shard without losing the
+// points already streamed.
+type Worker struct {
+	// ID names the worker to the coordinator; it must be unique in the
+	// fleet (exclusion and lease bookkeeping key on it).
+	ID string
+	// Coordinator is the base URL, e.g. "http://10.0.0.1:9191".
+	Coordinator string
+	// Client issues the HTTP requests; nil means http.DefaultClient. The
+	// chaos harness injects faults here.
+	Client *http.Client
+	// Parallelism bounds the shard simulation pool (0 = GOMAXPROCS).
+	Parallelism int
+	// PointRetries is the per-point retry budget within a shard attempt.
+	PointRetries int
+	// RequestRetries bounds retransmissions per request (default 8); when
+	// a request is still failing after the budget the worker gives up and
+	// Run returns the error — from the coordinator's side it died, and
+	// its shards are reassigned.
+	RequestRetries int
+	// Logf receives operational events; nil means silent.
+	Logf func(format string, args ...any)
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// jitter returns a random duration in [0, d). The PRNG is seeded from the
+// worker ID so a fixed fleet layout retries on a fixed schedule — part of
+// what makes the chaos tests deterministic.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	w.rngOnce.Do(func() {
+		h := fnv.New64a()
+		io.WriteString(h, w.ID)
+		w.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	})
+	if d <= 0 {
+		return 0
+	}
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return time.Duration(w.rng.Int63n(int64(d)))
+}
+
+// Run participates until the grid is done (nil), ctx is cancelled, or the
+// coordinator is unreachable past the retry budget.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.ID == "" || w.Coordinator == "" {
+		return fmt.Errorf("coord: worker needs ID and Coordinator")
+	}
+	retries := w.RequestRetries
+	if retries <= 0 {
+		retries = 8
+	}
+	var reg RegisterResponse
+	if err := w.post(ctx, PathRegister, RegisterRequest{Worker: w.ID}, &reg, retries); err != nil {
+		return fmt.Errorf("coord: register: %w", err)
+	}
+	if reg.Version != ProtocolVersion {
+		return fmt.Errorf("coord: coordinator speaks protocol v%d, this worker v%d", reg.Version, ProtocolVersion)
+	}
+	runner, res, err := reg.Job.NewRunner()
+	if err != nil {
+		return fmt.Errorf("coord: building runner from job spec: %w", err)
+	}
+	defer res.Close()
+	all := reg.Job.Points()
+	w.logf("worker %s: joined %s: %d grid points in %d shards", w.ID, w.Coordinator, len(all), reg.Shards)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lr LeaseResponse
+		if err := w.post(ctx, PathLease, LeaseRequest{Worker: w.ID}, &lr, retries); err != nil {
+			return fmt.Errorf("coord: lease: %w", err)
+		}
+		switch {
+		case lr.Done:
+			w.logf("worker %s: grid done", w.ID)
+			return nil
+		case lr.WaitMS > 0:
+			wait := time.Duration(lr.WaitMS) * time.Millisecond
+			if wait > time.Second {
+				wait = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		default:
+			gridDone, err := w.runShard(ctx, runner, all, lr, reg, res.TraceSkipped, retries)
+			if err != nil {
+				return err
+			}
+			if gridDone {
+				w.logf("worker %s: grid done", w.ID)
+				return nil
+			}
+		}
+	}
+}
+
+// runShard simulates one leased shard. Completed points stream to the
+// coordinator with every heartbeat (cumulatively, so lost beats cost
+// nothing); the final upload carries the full shard. Returns a nil error
+// when the shard was finished, abandoned (lease revoked), or released
+// (local failure) — only an unreachable coordinator or cancelled ctx is an
+// error — and gridDone when the upload completed the whole grid.
+func (w *Worker) runShard(ctx context.Context, runner sweep.Runner, all []sweep.Point, lr LeaseResponse, reg RegisterResponse, traceSkipped int64, retries int) (gridDone bool, _ error) {
+	shardPts := sweep.Shard(all, lr.Shard, lr.Shards)
+	index := map[sweep.Point]int{}
+	for j, pt := range shardPts {
+		index[pt] = lr.Shard + j*lr.Shards
+	}
+	w.logf("worker %s: shard %d/%d: %d points", w.ID, lr.Shard, lr.Shards, len(shardPts))
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var done []PointResult
+	snapshot := func() []PointResult {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]PointResult(nil), done...)
+	}
+
+	// Heartbeat loop: renew the lease and stream results. A single failed
+	// beat is not retried — the next tick is the retry — and several beats
+	// fit in one lease TTL, so only sustained loss forfeits the lease.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		interval := time.Duration(reg.HeartbeatMS) * time.Millisecond
+		if interval <= 0 {
+			interval = 2 * time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-sctx.Done():
+				return
+			case <-t.C:
+				var resp HeartbeatResponse
+				err := w.postOnce(sctx, PathHeartbeat, HeartbeatRequest{
+					Worker: w.ID, Shard: lr.Shard, Lease: lr.Lease,
+					Done: snapshot(), TraceSkipped: traceSkipped,
+				}, &resp)
+				if err == nil && resp.Cancel {
+					w.logf("worker %s: shard %d lease revoked; abandoning", w.ID, lr.Shard)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	opts := sweep.Options{
+		Parallelism: w.Parallelism,
+		Retries:     w.PointRetries,
+		Backoff:     100 * time.Millisecond,
+		OnResult: func(r sweep.Result) {
+			mu.Lock()
+			done = append(done, PointResult{Index: index[r.Point], Run: r.Run})
+			mu.Unlock()
+		},
+	}
+	results, runErr := runner.RunContext(sctx, shardPts, opts)
+	close(hbStop)
+	hbWG.Wait()
+
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	if sctx.Err() != nil && runErr != nil {
+		// Lease revoked mid-simulation: the points already completed were
+		// streamed; the rest belong to whoever holds the shard now.
+		return false, nil
+	}
+	var failed error
+	for _, r := range results {
+		if r.Err != nil && !sweep.Canceled(r.Err) {
+			failed = r.Err
+			break
+		}
+	}
+	if failed != nil {
+		// A point this worker cannot simulate: hand the shard back so the
+		// coordinator retries it elsewhere, and exclude us from it.
+		w.logf("worker %s: releasing shard %d: %v", w.ID, lr.Shard, failed)
+		var rel ReleaseResponse
+		if err := w.post(ctx, PathRelease, ReleaseRequest{
+			Worker: w.ID, Shard: lr.Shard, Lease: lr.Lease, Reason: failed.Error(),
+		}, &rel, retries); err != nil {
+			return false, fmt.Errorf("coord: release: %w", err)
+		}
+		return false, nil
+	}
+	var cr CompleteResponse
+	if err := w.post(ctx, PathComplete, CompleteRequest{
+		Worker: w.ID, Shard: lr.Shard, Lease: lr.Lease,
+		Results: snapshot(), TraceSkipped: traceSkipped,
+	}, &cr, retries); err != nil {
+		return false, fmt.Errorf("coord: complete shard %d: %w", lr.Shard, err)
+	}
+	w.logf("worker %s: shard %d complete", w.ID, lr.Shard)
+	return cr.Done, nil
+}
+
+// terminalError marks a response that retrying cannot fix (4xx).
+type terminalError struct {
+	err error
+}
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// post sends one JSON request with up to retries retransmissions on
+// transport errors, 5xx, and torn responses, backing off exponentially
+// (capped at 2s) with jitter.
+func (w *Worker) post(ctx context.Context, path string, req, resp any, retries int) error {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff + w.jitter(backoff/2)):
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		}
+		err := w.postOnce(ctx, path, req, resp)
+		if err == nil {
+			return nil
+		}
+		var te *terminalError
+		if errors.As(err, &te) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%s failed after %d attempts: %w", path, retries+1, lastErr)
+}
+
+// postOnce is a single request/response exchange. A response that cannot
+// be decoded — torn mid-body, truncated JSON — is a retryable error like
+// any transport fault; the protocol's idempotency makes the retry safe.
+func (w *Worker) postOnce(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return &terminalError{err}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return &terminalError{err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		err := fmt.Errorf("%s: %s: %s", path, hresp.Status, bytes.TrimSpace(msg))
+		if hresp.StatusCode >= 400 && hresp.StatusCode < 500 &&
+			hresp.StatusCode != http.StatusRequestTimeout && hresp.StatusCode != http.StatusTooManyRequests {
+			return &terminalError{err}
+		}
+		return err
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("%s: decoding response: %w", path, err)
+	}
+	return nil
+}

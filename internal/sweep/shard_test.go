@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -69,20 +70,38 @@ func TestShardWholeGridIsIdentity(t *testing.T) {
 
 func TestParseShard(t *testing.T) {
 	cases := []struct {
-		in   string
-		i, n int
-		ok   bool
+		in      string
+		i, n    int
+		ok      bool
+		errWant string // substring the error must contain, for the rejections
 	}{
-		{"", 0, 1, true},
-		{"0/1", 0, 1, true},
-		{"0/4", 0, 4, true},
-		{"3/4", 3, 4, true},
-		{"4/4", 0, 0, false},
-		{"-1/4", 0, 0, false},
-		{"1/0", 0, 0, false},
-		{"1", 0, 0, false},
-		{"a/b", 0, 0, false},
-		{"0/4x", 0, 0, false},
+		{in: "", i: 0, n: 1, ok: true},
+		{in: "0/1", i: 0, n: 1, ok: true},
+		{in: "0/4", i: 0, n: 4, ok: true},
+		{in: "3/4", i: 3, n: 4, ok: true},
+		{in: "10/128", i: 10, n: 128, ok: true},
+
+		// i >= n
+		{in: "4/4", errWant: "out of range"},
+		{in: "7/2", errWant: "out of range"},
+		// i < 0
+		{in: "-1/4", errWant: "non-negative"},
+		// n <= 0
+		{in: "1/0", errWant: "at least 1"},
+		{in: "0/0", errWant: "at least 1"},
+		{in: "1/-2", errWant: "at least 1"},
+		// not i/n at all
+		{in: "1", errWant: "form i/n"},
+		{in: "1-4", errWant: "form i/n"},
+		// non-numeric pieces
+		{in: "a/b", errWant: "not an integer"},
+		{in: "0/4x", errWant: "not an integer"},
+		{in: "0x1/4", errWant: "not an integer"},
+		{in: "/4", errWant: "not an integer"},
+		{in: "1/", errWant: "not an integer"},
+		{in: " 1/4", errWant: "not an integer"},
+		{in: "1/4 ", errWant: "not an integer"},
+		{in: "1.5/4", errWant: "not an integer"},
 	}
 	for _, c := range cases {
 		i, n, err := ParseShard(c.in)
@@ -91,6 +110,17 @@ func TestParseShard(t *testing.T) {
 		}
 		if c.ok && (i != c.i || n != c.n) {
 			t.Fatalf("ParseShard(%q) = %d/%d, want %d/%d", c.in, i, n, c.i, c.n)
+		}
+		if !c.ok {
+			if i != 0 || n != 0 {
+				t.Errorf("ParseShard(%q) rejected but returned %d/%d, want 0/0", c.in, i, n)
+			}
+			if !strings.Contains(err.Error(), c.errWant) {
+				t.Errorf("ParseShard(%q) error %q does not mention %q", c.in, err, c.errWant)
+			}
+			if !strings.Contains(err.Error(), c.in) {
+				t.Errorf("ParseShard(%q) error %q does not quote the offending spec", c.in, err)
+			}
 		}
 	}
 }

@@ -86,22 +86,31 @@ func Shard(pts []Point, i, n int) []Point {
 
 // ParseShard parses an "i/n" shard spec (e.g. "0/4"): n total shards,
 // taking the i-th, 0 ≤ i < n. The empty string means the whole grid (0/1).
+// Each failure mode gets its own message: a spec rejected at a terminal is
+// the operator's first contact with sharding, so "out of range" must say
+// which of i and n is wrong and what the bounds are.
 func ParseShard(s string) (i, n int, err error) {
 	if s == "" {
 		return 0, 1, nil
 	}
 	is, ns, ok := strings.Cut(s, "/")
 	if !ok {
-		return 0, 0, fmt.Errorf("sweep: shard spec %q is not i/n", s)
+		return 0, 0, fmt.Errorf("sweep: shard spec %q is not of the form i/n (e.g. 0/4)", s)
 	}
 	if i, err = strconv.Atoi(is); err != nil {
-		return 0, 0, fmt.Errorf("sweep: shard spec %q: %w", s, err)
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: index %q is not an integer", s, is)
 	}
 	if n, err = strconv.Atoi(ns); err != nil {
-		return 0, 0, fmt.Errorf("sweep: shard spec %q: %w", s, err)
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: count %q is not an integer", s, ns)
 	}
-	if n < 1 || i < 0 || i >= n {
-		return 0, 0, fmt.Errorf("sweep: shard %d/%d out of range", i, n)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: count must be at least 1, got %d", s, n)
+	}
+	if i < 0 {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: index must be non-negative, got %d", s, i)
+	}
+	if i >= n {
+		return 0, 0, fmt.Errorf("sweep: shard spec %q: index %d out of range for %d shard(s) (want 0..%d)", s, i, n, n-1)
 	}
 	return i, n, nil
 }

@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"mlcache/internal/report"
+)
+
+// WriteTable renders grid results as the sweep tool's standard table (or
+// CSV): one row per point with relative execution time, CPI, and L2 local /
+// global miss ratios. Every sweep front end — the local cmd/sweep path and
+// the distributed coordinator — renders through this one function, so a
+// distributed run's merged output is byte-identical to a single-process
+// run's. cpuCycleNS converts the point's L2 cycle time to CPU cycles for
+// the cycles column. A skipped result renders its (journal-filled) Run with
+// status "ckpt"; a failed result renders dashes with status "FAILED".
+func WriteTable(w io.Writer, results []Result, cpuCycleNS int64, asCSV bool) error {
+	t := report.NewTable("L2KB", "cycles", "assoc", "reltime", "CPI", "L2local", "L2global", "status")
+	for _, r := range results {
+		status := "ok"
+		if r.Skipped {
+			status = "ckpt"
+		}
+		if r.Err != nil {
+			t.AddRow(
+				report.SizeLabel(r.Point.L2SizeBytes),
+				strconv.FormatInt(r.Point.L2CycleNS/cpuCycleNS, 10),
+				strconv.Itoa(r.Point.L2Assoc),
+				"-", "-", "-", "-", "FAILED",
+			)
+			continue
+		}
+		l2 := r.Run.Mem.Down[0]
+		t.AddRow(
+			report.SizeLabel(r.Point.L2SizeBytes),
+			strconv.FormatInt(r.Point.L2CycleNS/cpuCycleNS, 10),
+			strconv.Itoa(r.Point.L2Assoc),
+			fmt.Sprintf("%.4f", r.Run.RelTime),
+			fmt.Sprintf("%.4f", r.Run.CPI),
+			report.Ratio(l2.LocalReadMissRatio()),
+			report.Ratio(l2.GlobalReadMissRatio(r.Run.CPUReads)),
+			status,
+		)
+	}
+	if asCSV {
+		return t.CSV(w)
+	}
+	return t.Render(w)
+}

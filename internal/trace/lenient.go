@@ -88,3 +88,23 @@ func (l *lenientStream) Next() (Ref, error) {
 
 // Skips returns the number of corrupt records skipped so far.
 func (l *lenientStream) Skips() int64 { return l.skips }
+
+// SkipCounter is implemented by streams that drop corrupt records instead
+// of failing on them — today only the Lenient wrapper. Skips reports how
+// many records have been dropped so far: the decode-quality signal callers
+// surface (tracestat's corruption column, the sweep coordinator's worker
+// report) instead of letting a resync pass silently.
+type SkipCounter interface {
+	Skips() int64
+}
+
+// Skips reports the number of corrupt records s has skipped, and whether s
+// tracks skips at all. Strict streams (anything that is not a Lenient
+// wrapper) report (0, false), which is distinct from a lenient stream that
+// happens to have skipped nothing — (0, true) means "checked and clean".
+func Skips(s Stream) (int64, bool) {
+	if sk, ok := s.(SkipCounter); ok {
+		return sk.Skips(), true
+	}
+	return 0, false
+}

@@ -95,6 +95,34 @@ func TestLenientBinaryCountsSkips(t *testing.T) {
 	}
 }
 
+// TestSkipsExported: the exported Skips helper distinguishes a lenient
+// stream that skipped records (n, true), a clean lenient stream (0, true),
+// and a strict stream that does not track skips at all (0, false).
+func TestSkipsExported(t *testing.T) {
+	enc := encodeBinary(t, uniformRefs(100))
+	enc[uniformHeaderOffset(30)] |= 0xF8
+	ls := Lenient(NewBinaryReader(bytes.NewReader(enc)), -1)
+	if _, err := Collect(ls, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := Skips(ls); !ok || n != 1 {
+		t.Errorf("Skips(lenient) = %d, %v; want 1, true", n, ok)
+	}
+
+	clean := Lenient(NewBinaryReader(bytes.NewReader(encodeBinary(t, uniformRefs(10)))), -1)
+	if _, err := Collect(clean, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := Skips(clean); !ok || n != 0 {
+		t.Errorf("Skips(clean lenient) = %d, %v; want 0, true", n, ok)
+	}
+
+	strict := NewBinaryReader(bytes.NewReader(encodeBinary(t, uniformRefs(10))))
+	if n, ok := Skips(strict); ok || n != 0 {
+		t.Errorf("Skips(strict) = %d, %v; want 0, false", n, ok)
+	}
+}
+
 func TestLenientBinaryBudgetExhausted(t *testing.T) {
 	enc := encodeBinary(t, uniformRefs(300))
 	// Damage several separate record headers.

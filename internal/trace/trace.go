@@ -149,9 +149,7 @@ func Count(s Stream) (Counts, error) {
 	for {
 		r, err := s.Next()
 		if errors.Is(err, io.EOF) {
-			if sk, ok := s.(interface{ Skips() int64 }); ok {
-				c.Skipped = sk.Skips()
-			}
+			c.Skipped, _ = Skips(s)
 			return c, nil
 		}
 		if err != nil {
