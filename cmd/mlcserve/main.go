@@ -1,0 +1,102 @@
+// Command mlcserve runs the sweep engine as a long-running HTTP service:
+// clients POST sweep-grid jobs (the same JSON job spec the distributed
+// coordinator uses) to /jobs and stream per-point results back as NDJSON,
+// ending with a rendered table byte-identical to `sweep` CLI output for
+// the same grid. One resident process amortizes workload decoding (a
+// shared refcounted arena cache), hierarchy allocation (a geometry-keyed
+// pool), and repeated grids (a per-point result cache) across every
+// client.
+//
+// Usage:
+//
+//	mlcserve -addr :9292
+//	curl -sN -X POST --data-binary @job.json 'localhost:9292/jobs?csv=1'
+//	curl -s localhost:9292/metrics
+//
+// SIGINT/SIGTERM drain gracefully: /healthz flips to 503, new jobs are
+// refused, and in-flight grids finish streaming before the process exits
+// (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlcache/internal/prof"
+	"mlcache/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mlcserve: ")
+	var (
+		addr         = flag.String("addr", ":9292", "listen address (host:port)")
+		jobs         = flag.Int("jobs", 4, "max concurrently running jobs")
+		queue        = flag.Int("queue", 16, "max jobs waiting for a slot before 429")
+		par          = flag.Int("par", 0, "simulation workers per job (0 = GOMAXPROCS)")
+		arenaBudget  = flag.Int64("arena-budget-mb", 1024, "workload cache budget in MiB")
+		poolPerGeom  = flag.Int("pool-per-geometry", 4, "idle hierarchies kept per cache geometry")
+		resultPoints = flag.Int("result-cache-points", 65536, "per-point result cache capacity")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+
+	cfg := serve.Config{
+		MaxJobs:           *jobs,
+		MaxQueue:          *queue,
+		Parallelism:       *par,
+		ArenaBudgetBytes:  *arenaBudget << 20,
+		PoolPerGeometry:   *poolPerGeom,
+		ResultCachePoints: *resultPoints,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	s := serve.New(cfg)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// No write timeout: job streams legitimately run for minutes.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (POST /jobs, GET /healthz, GET /metrics)", *addr)
+
+	select {
+	case err := <-serveErr:
+		log.Fatalf("serve %s: %v", *addr, err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new work, let streaming grids finish.
+	s.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("drain incomplete after %v: %v", *drainTimeout, err)
+		os.Exit(1)
+	}
+	log.Print("drained cleanly")
+}

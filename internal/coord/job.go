@@ -116,6 +116,33 @@ func (s JobSpec) NewRunner() (sweep.Runner, *Resources, error) {
 	if err := s.Validate(); err != nil {
 		return sweep.Runner{}, nil, err
 	}
+	if s.TracePath == "" {
+		// Synthetic workloads stay lazy here: the sweep engine materializes
+		// the stream under its own cancellable wrapper, so SIGINT during
+		// generation is observed.
+		opt := experiments.Options{Seed: s.Seed, Refs: s.Refs, Warmup: s.Refs / 5}
+		r := s.RunnerFor(nil)
+		r.Trace = opt.Stream
+		return r, &Resources{}, nil
+	}
+	res := &Resources{}
+	arena, err := s.loadTrace(res)
+	if err != nil {
+		return sweep.Runner{}, nil, err
+	}
+	if s.Refs > 0 && int64(arena.Len()) > s.Refs {
+		arena = trace.NewArena(arena.Refs()[:s.Refs])
+	}
+	return s.RunnerFor(arena), res, nil
+}
+
+// RunnerFor builds the spec's runner around an already materialized
+// workload — the entry point for callers that share one arena across many
+// jobs (the mlcserve workload cache). A nil arena leaves Runner.Trace and
+// Runner.CPU for the caller (NewRunner's synthetic path); otherwise the
+// returned runner simulates exactly like NewRunner's, including the
+// 20% warmup convention, so results stay byte-identical across front ends.
+func (s JobSpec) RunnerFor(arena *trace.Arena) sweep.Runner {
 	mem := mainmem.Base()
 	if s.SlowMem {
 		mem = mainmem.Slow()
@@ -128,24 +155,52 @@ func (s JobSpec) NewRunner() (sweep.Runner, *Resources, error) {
 			return cfg
 		},
 	}
-	res := &Resources{}
-	if s.TracePath != "" {
-		arena, err := s.loadTrace(res)
-		if err != nil {
-			return sweep.Runner{}, nil, err
-		}
-		if s.Refs > 0 && int64(arena.Len()) > s.Refs {
-			arena = trace.NewArena(arena.Refs()[:s.Refs])
-		}
+	if arena != nil {
 		r.Arena = arena
 		r.CPU = experiments.Options{Warmup: int64(arena.Len()) / 5}.CPU()
 	} else {
-		opt := experiments.Options{Seed: s.Seed, Refs: s.Refs, Warmup: s.Refs / 5}
-		r.Trace = opt.Stream
-		r.CPU = opt.CPU()
+		r.CPU = experiments.Options{Seed: s.Seed, Refs: s.Refs, Warmup: s.Refs / 5}.CPU()
 	}
-	return r, res, nil
+	return r
 }
+
+// MaterializeArena loads the spec's workload into an arena, whatever its
+// source: an mmap-ed artifact, a decoded (possibly lenient) trace file
+// with the Refs cap applied, or the synthetic generator. It returns the
+// resource backing the arena (close it when every consumer is done; a
+// no-op for decoded and synthetic workloads) and the lenient-decode skip
+// count. Simulating the returned arena through RunnerFor is bit-identical
+// to NewRunner's own loading.
+func (s JobSpec) MaterializeArena() (*trace.Arena, io.Closer, int64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if s.TracePath == "" {
+		opt := experiments.Options{Seed: s.Seed, Refs: s.Refs}
+		arena, err := trace.Materialize(opt.Stream())
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return arena, nopCloser{}, 0, nil
+	}
+	res := &Resources{}
+	arena, err := s.loadTrace(res)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if s.Refs > 0 && int64(arena.Len()) > s.Refs {
+		arena = trace.NewArena(arena.Refs()[:s.Refs])
+	}
+	closer := res.closer
+	if closer == nil {
+		closer = nopCloser{}
+	}
+	return arena, closer, res.TraceSkipped, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
 
 // loadTrace opens the job's trace file. Artifacts mmap zero-copy; other
 // codecs decode once, optionally through the lenient corrupt-record

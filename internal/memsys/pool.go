@@ -1,0 +1,130 @@
+package memsys
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"mlcache/internal/cache"
+)
+
+// Pool is a geometry-keyed free list of hierarchies — the sharing layer
+// above the per-worker ResetFor reuse inside one sweep. A sweep worker
+// reuses its own hierarchy only while consecutive points share cache
+// geometry; a Pool lets heterogeneous grids, consecutive jobs in a
+// long-running service, and the optimal-search driver hand finished
+// hierarchies back for any later simulation of the same geometry, skipping
+// the tag-array allocation that dominates per-point setup.
+//
+// A hierarchy taken from the pool is indistinguishable from a freshly
+// constructed one: Get re-purposes it with ResetFor, whose contract is
+// bit-identical simulation results. A Pool is safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	perKey int
+	free   map[string][]*Hierarchy
+	stats  PoolStats
+}
+
+// PoolStats counts pool traffic. Hits/Gets is the reuse rate a service
+// exports; Drops counts hierarchies discarded because their geometry's
+// free list was already full.
+type PoolStats struct {
+	Gets  int64
+	Hits  int64
+	Puts  int64
+	Drops int64
+	// Size is the number of hierarchies currently pooled, across all
+	// geometries.
+	Size int
+}
+
+// NewPool returns a pool that keeps at most perKey idle hierarchies per
+// geometry (<= 0 means 4, enough for a small worker pool cycling through
+// one grid's geometries without unbounded retention).
+func NewPool(perKey int) *Pool {
+	if perKey <= 0 {
+		perKey = 4
+	}
+	return &Pool{perKey: perKey, free: map[string][]*Hierarchy{}}
+}
+
+// Get returns a hierarchy configured for cfg, reusing a pooled one of the
+// same geometry when available and constructing a new one otherwise.
+func (p *Pool) Get(cfg Config) (*Hierarchy, error) {
+	key := geometryKey(cfg)
+	p.mu.Lock()
+	p.stats.Gets++
+	var h *Hierarchy
+	if list := p.free[key]; len(list) > 0 {
+		h = list[len(list)-1]
+		p.free[key] = list[:len(list)-1]
+	}
+	p.mu.Unlock()
+	if h != nil && h.ResetFor(cfg) {
+		p.mu.Lock()
+		p.stats.Hits++
+		p.mu.Unlock()
+		return h, nil
+	}
+	// Either nothing was pooled or cfg failed validation inside ResetFor;
+	// construct from scratch so the caller sees the real error.
+	return New(cfg)
+}
+
+// Put returns a hierarchy to the pool for later reuse. The caller must not
+// use h afterwards. Hierarchies beyond the per-geometry cap are dropped.
+func (p *Pool) Put(h *Hierarchy) {
+	if h == nil {
+		return
+	}
+	key := geometryKey(h.cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Puts++
+	if len(p.free[key]) >= p.perKey {
+		p.stats.Drops++
+		return
+	}
+	p.free[key] = append(p.free[key], h)
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	for _, list := range p.free {
+		s.Size += len(list)
+	}
+	return s
+}
+
+// geometryKey renders the allocation shape ResetFor requires to match:
+// the hierarchy structure (split L1, level count, TLB presence) and each
+// cache's tag-array geometry (the same fields cache.Compatible compares).
+// Timing, policies, and seeds are deliberately absent — they are free to
+// differ across a reuse.
+func geometryKey(cfg Config) string {
+	var b strings.Builder
+	if cfg.SplitL1 {
+		b.WriteString("split")
+	} else {
+		b.WriteString("unified")
+	}
+	for _, lc := range cfg.firstLevels() {
+		writeCacheGeometry(&b, lc.Cache)
+	}
+	for _, lc := range cfg.Down {
+		writeCacheGeometry(&b, lc.Cache)
+	}
+	if cfg.TLB.Entries > 0 {
+		b.WriteString("|tlb")
+		writeCacheGeometry(&b, cfg.TLB.cacheConfig())
+	}
+	return b.String()
+}
+
+func writeCacheGeometry(b *strings.Builder, c cache.Config) {
+	fmt.Fprintf(b, "|%d:%d:%d:%d:%d", c.NumSets(), c.Ways(), c.BlockBytes, c.SubBlocks(), c.EffectiveFetchBytes())
+}

@@ -121,6 +121,10 @@ type Config struct {
 	// TopK candidates (by predicted time) are verified by simulation;
 	// zero means 3.
 	TopK int
+	// Pool, when set, supplies the verification hierarchies: candidates
+	// sharing a geometry reuse tag arrays instead of reallocating. Reuse is
+	// bit-identical to fresh construction.
+	Pool *memsys.Pool
 }
 
 // Result reports a completed search.
@@ -245,13 +249,23 @@ func Search(cfg Config) (Result, error) {
 		l2.Cache.Assoc = cand.Assoc
 		l2.CycleNS = cand.CycleNS
 		mcfg.Down[0] = l2
-		h, err := memsys.New(mcfg)
+		var h *memsys.Hierarchy
+		var err error
+		if cfg.Pool != nil {
+			h, err = cfg.Pool.Get(mcfg)
+		} else {
+			h, err = memsys.New(mcfg)
+		}
 		if err != nil {
 			return res, fmt.Errorf("optimal: candidate %v: %w", cand, err)
 		}
 		run, err := cpu.Run(h, cfg.Trace(), cfg.CPU)
 		if err != nil {
+			// A hierarchy that failed mid-run is not returned to the pool.
 			return res, fmt.Errorf("optimal: candidate %v: %w", cand, err)
+		}
+		if cfg.Pool != nil {
+			cfg.Pool.Put(h)
 		}
 		res.Simulated = append(res.Simulated, Verified{
 			Candidate:   cand,

@@ -227,3 +227,40 @@ func TestRender(t *testing.T) {
 		t.Errorf("render incomplete:\n%s", out)
 	}
 }
+
+// TestSearchPooledBitIdentical: drawing verification hierarchies from a
+// shared pool must not change any measured outcome — same ranking, same
+// relative times, same winner as fresh construction.
+func TestSearchPooledBitIdentical(t *testing.T) {
+	fresh, err := Search(testSearchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := memsys.NewPool(2)
+	pcfg := testSearchConfig()
+	pcfg.Pool = pool
+	// Two searches through the same pool: the second draws recycled
+	// hierarchies for every candidate geometry it revisits.
+	for round := 0; round < 2; round++ {
+		pooled, err := Search(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pooled.Simulated) != len(fresh.Simulated) {
+			t.Fatalf("round %d: %d verified candidates, want %d", round, len(pooled.Simulated), len(fresh.Simulated))
+		}
+		for i := range fresh.Simulated {
+			f, p := fresh.Simulated[i], pooled.Simulated[i]
+			if f.Candidate != p.Candidate || f.MeasuredRel != p.MeasuredRel || f.Run.TimeNS != p.Run.TimeNS || f.Run.Cycles != p.Run.Cycles {
+				t.Errorf("round %d candidate %d: pooled %+v != fresh %+v", round, i, p, f)
+			}
+		}
+		if pooled.Best.Candidate != fresh.Best.Candidate {
+			t.Errorf("round %d: pooled winner %v, fresh winner %v", round, pooled.Best.Candidate, fresh.Best.Candidate)
+		}
+	}
+	if st := pool.Stats(); st.Hits == 0 || st.Puts == 0 {
+		t.Errorf("pool never reused a hierarchy: %+v", st)
+	}
+}

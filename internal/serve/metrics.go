@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlcache/internal/memsys"
+)
+
+// latencyBuckets are the per-job duration histogram bounds in seconds,
+// spanning cached-grid replays (milliseconds) to full Fig 4-1 sweeps over
+// long traces (minutes).
+var latencyBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: counts[i] is the number of observations <= buckets[i], and the
+// implicit +Inf bucket is count.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+}
+
+// mean returns the average observation, or 0 with no observations.
+func (h *histogram) mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// metrics is the server's observability state, exported in Prometheus
+// text format by the /metrics handler.
+type metrics struct {
+	start time.Time
+
+	jobsTotal    atomic.Int64 // accepted jobs (includes canceled)
+	jobsRejected atomic.Int64 // 429 backpressure rejections
+	jobsCanceled atomic.Int64 // client disconnected mid-grid
+	jobsActive   atomic.Int64
+	queueDepth   atomic.Int64
+
+	pointsTotal  atomic.Int64 // simulated points
+	pointsCached atomic.Int64 // served from the result cache
+	pointsFailed atomic.Int64
+	refsTotal    atomic.Int64 // references simulated
+
+	jobSeconds *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), jobSeconds: newHistogram(latencyBuckets)}
+}
+
+// writePrometheus renders every server metric in Prometheus text
+// exposition format (version 0.0.4).
+func (m *metrics) writePrometheus(w io.Writer, arenas ArenaCacheStats, pool memsys.PoolStats) {
+	up := time.Since(m.start).Seconds()
+	refsPerSec := 0.0
+	if up > 0 {
+		refsPerSec = float64(m.refsTotal.Load()) / up
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeI := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	gaugeF("mlcserve_uptime_seconds", "Seconds since the server started.", up)
+	counter("mlcserve_jobs_total", "Sweep jobs accepted.", m.jobsTotal.Load())
+	counter("mlcserve_jobs_rejected_total", "Jobs rejected with 429 by queue backpressure.", m.jobsRejected.Load())
+	counter("mlcserve_jobs_canceled_total", "Jobs abandoned because the client disconnected.", m.jobsCanceled.Load())
+	gaugeI("mlcserve_jobs_active", "Jobs currently simulating or streaming.", m.jobsActive.Load())
+	gaugeI("mlcserve_queue_depth", "Jobs waiting for a run slot.", m.queueDepth.Load())
+
+	counter("mlcserve_points_total", "Grid points simulated.", m.pointsTotal.Load())
+	counter("mlcserve_points_cached_total", "Grid points served from the result cache.", m.pointsCached.Load())
+	counter("mlcserve_points_failed_total", "Grid points that failed simulation.", m.pointsFailed.Load())
+	counter("mlcserve_refs_simulated_total", "Trace references simulated.", m.refsTotal.Load())
+	gaugeF("mlcserve_refs_per_second", "Mean simulation throughput since start.", refsPerSec)
+
+	counter("mlcserve_arena_cache_hits_total", "Workload cache hits.", arenas.Hits)
+	counter("mlcserve_arena_cache_misses_total", "Workload cache misses (materializations).", arenas.Misses)
+	counter("mlcserve_arena_cache_evictions_total", "Workloads evicted under the byte budget.", arenas.Evictions)
+	gaugeI("mlcserve_arena_cache_bytes", "Bytes of cached trace arenas.", arenas.Bytes)
+	gaugeI("mlcserve_arena_cache_pinned_bytes", "Bytes of arenas pinned by streaming jobs.", arenas.Pinned)
+	gaugeI("mlcserve_arena_cache_entries", "Cached workloads.", int64(arenas.Entries))
+
+	counter("mlcserve_pool_gets_total", "Hierarchy pool requests.", pool.Gets)
+	counter("mlcserve_pool_hits_total", "Hierarchy pool reuses (tag arrays recycled).", pool.Hits)
+	counter("mlcserve_pool_puts_total", "Hierarchies returned to the pool.", pool.Puts)
+	gaugeI("mlcserve_pool_size", "Idle pooled hierarchies.", int64(pool.Size))
+
+	name := "mlcserve_job_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall time of completed jobs.\n# TYPE %s histogram\n", name, name)
+	m.jobSeconds.mu.Lock()
+	for i, b := range m.jobSeconds.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), m.jobSeconds.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, m.jobSeconds.count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, m.jobSeconds.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, m.jobSeconds.count)
+	m.jobSeconds.mu.Unlock()
+}

@@ -1,0 +1,402 @@
+// Package serve is the long-running sweep service: the step from the
+// batch cmd/sweep CLI to a resident, multi-client server. Clients POST a
+// coord.JobSpec (the same serializable description the distributed
+// coordinator ships to workers) and receive per-point results streamed as
+// NDJSON in completion order, followed by a final record carrying the
+// full sweep.WriteTable rendering — byte-identical to a single-process
+// `sweep` run of the same grid.
+//
+// What makes the service worth being resident:
+//
+//   - One decode per workload: a refcounted, LRU-bounded ArenaCache
+//     shares a single materialized trace.Arena across every concurrent
+//     and subsequent job over the same workload (keyed by content, not
+//     just path).
+//   - One allocation per geometry: a memsys.Pool recycles hierarchies
+//     (tag arrays) across jobs, extending sweep's per-worker ResetFor
+//     reuse beyond a single grid.
+//   - No re-simulation: a per-point result cache keyed by (workload +
+//     machine, point) serves repeated or overlapping grids from memory.
+//
+// Robustness: a bounded admission queue answers overload with 429 +
+// Retry-After instead of collapsing; a client disconnect cancels its
+// job's context and frees the workers at the next batch boundary; Drain
+// flips /healthz to 503 and rejects new jobs while in-flight grids finish
+// (SIGTERM handling in cmd/mlcserve). /metrics exposes the whole
+// trajectory — refs/sec, cache hit/miss/evictions, pool reuse, queue
+// depth, job latency histogram — in Prometheus text format.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mlcache/internal/coord"
+	"mlcache/internal/cpu"
+	"mlcache/internal/experiments"
+	"mlcache/internal/memsys"
+	"mlcache/internal/sweep"
+)
+
+// Config tunes the server. The zero value of every field gets a sensible
+// default from New.
+type Config struct {
+	// MaxJobs bounds concurrently running jobs (default 4). Each job uses
+	// up to Parallelism workers, so total simulation threads are
+	// MaxJobs × Parallelism.
+	MaxJobs int
+	// MaxQueue bounds jobs waiting for a run slot (default 16); beyond
+	// it, submissions are rejected with 429 and a Retry-After estimate.
+	MaxQueue int
+	// Parallelism bounds each job's simulation workers (0 = GOMAXPROCS).
+	Parallelism int
+	// ArenaBudgetBytes bounds the workload cache (default 1 GiB).
+	ArenaBudgetBytes int64
+	// PoolPerGeometry bounds idle pooled hierarchies per geometry
+	// (default 4).
+	PoolPerGeometry int
+	// ResultCachePoints bounds the per-point result cache (default 65536).
+	ResultCachePoints int
+	// Logf receives operational events; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs <= 0 {
+		return 4
+	}
+	return c.MaxJobs
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue <= 0 {
+		return 16
+	}
+	return c.MaxQueue
+}
+
+// Server is the resident sweep service. Create with New, mount Handler on
+// an http.Server, call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	arenas  *ArenaCache
+	pool    *memsys.Pool
+	results *resultCache
+	metrics *metrics
+	slots   chan struct{}
+
+	mu       sync.Mutex
+	waiting  int
+	draining bool
+
+	jobSeq int64
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg,
+		arenas:  NewArenaCache(cfg.ArenaBudgetBytes),
+		pool:    memsys.NewPool(cfg.PoolPerGeometry),
+		results: newResultCache(cfg.ResultCachePoints),
+		metrics: newMetrics(),
+		slots:   make(chan struct{}, cfg.maxJobs()),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain puts the server into shutdown mode: /healthz turns 503 so load
+// balancers stop routing here, and new job submissions are refused, while
+// jobs already streaming run to completion (http.Server.Shutdown waits
+// for them). Drain does not cancel anything.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("draining: rejecting new jobs, finishing in-flight grids")
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so
+// rolling restarts shift traffic before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":      status,
+		"jobs_active": s.metrics.jobsActive.Load(),
+		"queue_depth": s.metrics.queueDepth.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, s.arenas.Stats(), s.pool.Stats())
+}
+
+// retryAfterSeconds estimates when a queue slot may free up: the mean job
+// duration, clamped to [1s, 5min]. Crude, but it gives well-behaved
+// clients a better hint than a constant.
+func (s *Server) retryAfterSeconds() int {
+	sec := int(math.Ceil(s.metrics.jobSeconds.mean()))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 300 {
+		sec = 300
+	}
+	return sec
+}
+
+// acquireSlot admits a job under the bounded queue, honoring ctx. It
+// returns false (with the HTTP response already written) on rejection or
+// client abandonment.
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	s.mu.Lock()
+	if s.waiting >= s.cfg.maxQueue() {
+		s.mu.Unlock()
+		s.metrics.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		http.Error(w, "job queue full", http.StatusTooManyRequests)
+		return false
+	}
+	s.waiting++
+	s.metrics.queueDepth.Store(int64(s.waiting))
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.metrics.queueDepth.Store(int64(s.waiting))
+		s.mu.Unlock()
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// The client gave up while queued; nothing useful to write.
+		return false
+	}
+}
+
+// resultLine is one streamed NDJSON record: a per-point result (Run set,
+// Error empty), a per-point failure (Error set), or — with Done — the
+// job's final summary carrying the rendered table.
+type resultLine struct {
+	Index   int         `json:"index"`
+	L2KB    int64       `json:"l2_kb"`
+	CycleNS int64       `json:"l2_cycle_ns"`
+	Assoc   int         `json:"l2_assoc"`
+	Cached  bool        `json:"cached,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	Run     *cpu.Result `json:"run,omitempty"`
+}
+
+func lineFor(i int, pt sweep.Point) resultLine {
+	return resultLine{Index: i, L2KB: pt.L2SizeBytes / 1024, CycleNS: pt.L2CycleNS, Assoc: pt.L2Assoc}
+}
+
+// startLine announces an accepted job before any simulation output.
+type startLine struct {
+	Job          int64  `json:"job"`
+	Points       int    `json:"points"`
+	ArenaHit     bool   `json:"arena_hit"`
+	TraceSkipped int64  `json:"trace_skipped,omitempty"`
+	Workload     string `json:"workload"`
+}
+
+// doneLine closes the stream. Table is the full sweep.WriteTable
+// rendering, byte-identical to cmd/sweep output for the same grid.
+type doneLine struct {
+	Done      bool    `json:"done"`
+	Job       int64   `json:"job"`
+	Points    int     `json:"points"`
+	Cached    int     `json:"cached"`
+	Failed    int     `json:"failed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Table     string  `json:"table"`
+}
+
+// handleJobs runs one sweep job end to end: admission, workload lease,
+// result-cache probe, simulation with streaming, final table.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a job spec", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Draining() {
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	var spec coord.JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("bad job spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	asCSV := false
+	if v := r.URL.Query().Get("csv"); v != "" && v != "0" && v != "false" {
+		asCSV = true
+	}
+	if !s.acquireSlot(w, r) {
+		return
+	}
+	defer func() { <-s.slots }()
+
+	s.mu.Lock()
+	s.jobSeq++
+	jobID := s.jobSeq
+	s.mu.Unlock()
+	s.metrics.jobsTotal.Add(1)
+	s.metrics.jobsActive.Add(1)
+	defer s.metrics.jobsActive.Add(-1)
+	start := time.Now()
+
+	wl, arenaHit, err := s.arenas.Acquire(spec)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("workload: %v", err), http.StatusBadRequest)
+		return
+	}
+	defer wl.Release()
+	pts := spec.Points()
+	s.logf("job %d: %d points, workload %s (arena hit=%t)", jobID, len(pts), wl.Key(), arenaHit)
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		// A write error means the client vanished; the request context
+		// cancels the grid, so there is nothing to handle here.
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(startLine{Job: jobID, Points: len(pts), ArenaHit: arenaHit, TraceSkipped: wl.Skipped(), Workload: wl.Key()})
+
+	// Probe the result cache and stream every known point immediately.
+	base := resultKeyBase(wl.Key(), spec)
+	cached := make(map[sweep.Point]cpu.Result)
+	index := make(map[sweep.Point]int, len(pts))
+	for i, pt := range pts {
+		index[pt] = i
+		if run, ok := s.results.get(base, pt); ok {
+			cached[pt] = run
+			line := lineFor(i, pt)
+			line.Cached = true
+			run := run
+			line.Run = &run
+			emit(line)
+		}
+	}
+	s.metrics.pointsCached.Add(int64(len(cached)))
+
+	runner := spec.RunnerFor(wl.Arena())
+	runner.Pool = s.pool
+	runner.Parallelism = s.cfg.Parallelism
+	arenaRefs := int64(wl.Arena().Len())
+
+	opts := sweep.Options{
+		Skip: func(pt sweep.Point) bool {
+			_, ok := cached[pt]
+			return ok
+		},
+		// OnResult calls are serialized by the engine, and they are the
+		// only writer between the cached prefix above and the summary
+		// below, so emit needs no extra locking.
+		OnResult: func(res sweep.Result) {
+			s.results.put(base, res.Point, res.Run)
+			s.metrics.pointsTotal.Add(1)
+			s.metrics.refsTotal.Add(arenaRefs)
+			line := lineFor(index[res.Point], res.Point)
+			run := res.Run
+			line.Run = &run
+			emit(line)
+		},
+	}
+	results, runErr := runner.RunContext(r.Context(), pts, opts)
+	if runErr != nil {
+		// Client disconnected (the only way the request context dies).
+		s.metrics.jobsCanceled.Add(1)
+		s.logf("job %d: canceled after %v", jobID, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// Fill cache-served points into the full result set and surface
+	// per-point failures on the stream.
+	failed := 0
+	for i := range results {
+		if results[i].Skipped {
+			results[i].Run = cached[results[i].Point]
+			results[i].Skipped = false
+			continue
+		}
+		if results[i].Err != nil {
+			failed++
+			s.metrics.pointsFailed.Add(1)
+			line := lineFor(i, results[i].Point)
+			line.Error = results[i].Err.Error()
+			emit(line)
+		}
+	}
+
+	var table bytes.Buffer
+	if err := sweep.WriteTable(&table, results, experiments.CPUCycleNS, asCSV); err != nil {
+		s.logf("job %d: render: %v", jobID, err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.metrics.jobSeconds.observe(elapsed.Seconds())
+	emit(doneLine{
+		Done:      true,
+		Job:       jobID,
+		Points:    len(pts),
+		Cached:    len(cached),
+		Failed:    failed,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Table:     table.String(),
+	})
+	s.logf("job %d: done in %v (%d cached, %d failed)", jobID, elapsed.Round(time.Millisecond), len(cached), failed)
+}

@@ -97,8 +97,10 @@ func (r Runner) RunContext(ctx context.Context, pts []Point, opts Options) ([]Re
 			defer wg.Done()
 			// Each worker owns one reusable hierarchy: grid neighbors that
 			// share cache geometry are simulated by Reset instead of
-			// reallocating tag arrays.
-			ws := &workerState{}
+			// reallocating tag arrays. With a Runner.Pool the hierarchy
+			// outlives this run for the next job over the same geometry.
+			ws := &workerState{pool: r.Pool}
+			defer ws.retire()
 			for i := range jobs {
 				res := &results[i]
 				if opts.Skip != nil && opts.Skip(res.Point) {
@@ -115,8 +117,12 @@ func (r Runner) RunContext(ctx context.Context, pts []Point, opts Options) ([]Re
 		}()
 	}
 
+	// Points are fed in geometry order, not input order: grouping the grid
+	// by tag-array shape turns almost every worker transition into a
+	// timing-only ResetFor. Results stay in input order regardless, so the
+	// rendered table is byte-identical either way.
 feed:
-	for i := range pts {
+	for _, i := range GeometryOrder(pts) {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -175,14 +181,30 @@ func (g *gridTrace) source() (trace.Stream, error) {
 
 // workerState is the per-worker reusable simulation state.
 type workerState struct {
-	h *memsys.Hierarchy
+	h    *memsys.Hierarchy
+	pool *memsys.Pool
 }
 
 // hierarchy returns a hierarchy for cfg, reusing the worker's previous one
-// (via ResetFor) when the cache geometry allows it.
+// (via ResetFor) when the cache geometry allows it, then falling back to
+// the shared pool (which may hold one from an earlier run), and finally to
+// fresh construction. A hierarchy displaced by a geometry change is handed
+// to the pool rather than dropped.
 func (ws *workerState) hierarchy(cfg memsys.Config) (*memsys.Hierarchy, error) {
 	if ws.h != nil && ws.h.ResetFor(cfg) {
 		return ws.h, nil
+	}
+	if ws.pool != nil {
+		if ws.h != nil {
+			ws.pool.Put(ws.h)
+			ws.h = nil
+		}
+		h, err := ws.pool.Get(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ws.h = h
+		return h, nil
 	}
 	h, err := memsys.New(cfg)
 	if err != nil {
@@ -190,6 +212,15 @@ func (ws *workerState) hierarchy(cfg memsys.Config) (*memsys.Hierarchy, error) {
 	}
 	ws.h = h
 	return h, nil
+}
+
+// retire returns the worker's hierarchy to the shared pool when the run
+// ends. Without a pool it is simply garbage.
+func (ws *workerState) retire() {
+	if ws.pool != nil && ws.h != nil {
+		ws.pool.Put(ws.h)
+		ws.h = nil
+	}
 }
 
 // runPoint executes one point with the retry budget, filling res in place.

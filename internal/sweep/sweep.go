@@ -9,6 +9,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -115,6 +116,41 @@ func ParseShard(s string) (i, n int, err error) {
 	return i, n, nil
 }
 
+// GeometryOrder returns a scheduling permutation of pts grouped by cache
+// geometry: all points sharing an L2 tag-array shape (size, associativity)
+// are adjacent, with the original order preserved inside each group and
+// groups ordered by first appearance. The size-major grid enumeration
+// interleaves associativities between cycle-time neighbors, so feeding
+// workers in grid order breaks the ResetFor reuse chain at every point of
+// a multi-associativity grid; feeding in geometry order makes every
+// within-group transition a timing-only change, which both the per-worker
+// reuse and the hierarchy pool satisfy without reallocating. Scheduling
+// order never affects results — each point is an independent,
+// bit-deterministic simulation reported in input order.
+func GeometryOrder(pts []Point) []int {
+	type geom struct {
+		size  int64
+		assoc int
+	}
+	first := make(map[geom]int, len(pts))
+	for i, pt := range pts {
+		g := geom{pt.L2SizeBytes, pt.L2Assoc}
+		if _, ok := first[g]; !ok {
+			first[g] = i
+		}
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ga := geom{pts[idx[a]].L2SizeBytes, pts[idx[a]].L2Assoc}
+		gb := geom{pts[idx[b]].L2SizeBytes, pts[idx[b]].L2Assoc}
+		return first[ga] < first[gb]
+	})
+	return idx
+}
+
 // CyclesRange returns cycle times from lo to hi CPU cycles inclusive, in
 // nanoseconds, given the CPU cycle time.
 func CyclesRange(lo, hi int, cpuCycleNS int64) []int64 {
@@ -148,6 +184,12 @@ type Runner struct {
 	CPU            cpu.Config
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
+	// Pool, when non-nil, shares hierarchies beyond this run: workers draw
+	// from it when their own hierarchy cannot be reset for the next point
+	// and return hierarchies to it when the run ends, so consecutive jobs
+	// over the same geometries (a long-running service) skip tag-array
+	// allocation entirely.
+	Pool *memsys.Pool
 }
 
 // Result pairs a point with its simulation outcome.

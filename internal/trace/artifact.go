@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"unsafe"
 )
 
@@ -215,16 +216,32 @@ func writeArtifactTo(f *os.File, refs []Ref) error {
 	return f.Sync()
 }
 
+// ErrArtifactBusy is returned by Close while the artifact is pinned by
+// in-flight readers: unmapping under them would turn their next cursor
+// read into a fault. The caller releases (or waits for) the readers and
+// closes again.
+var ErrArtifactBusy = errors.New("trace: artifact pinned by active readers")
+
 // Artifact is an open trace artifact: an Arena plus the resources backing
 // it. When Mapped reports true the arena aliases the mapped file — shared
 // page cache, zero per-process copy — and every Cursor and Refs slice is
 // invalidated by Close. The copying fallback has no such constraint, but
 // callers should treat Close as the end of the arena's life either way.
+//
+// Concurrent readers guard their cursors with Pin/Unpin: a pinned
+// artifact refuses to Close (ErrArtifactBusy) instead of racing the
+// readers, and Pin after Close fails instead of handing out a poisoned
+// arena.
 type Artifact struct {
-	arena   *Arena
-	mapped  bool
-	munmap  func() error // nil once closed or for the copying path
-	srcPath string
+	arena    *Arena
+	mapped   bool
+	srcPath  string
+	checksum uint32
+
+	mu     sync.Mutex
+	pins   int
+	closed bool
+	munmap func() error // nil once closed or for the copying path
 }
 
 // Arena returns the artifact's trace. It must not be used after Close when
@@ -241,8 +258,51 @@ func (a *Artifact) Mapped() bool { return a.mapped }
 // Path returns the file the artifact was opened from.
 func (a *Artifact) Path() string { return a.srcPath }
 
-// Close releases the mapping (if any). It is safe to call twice.
+// Checksum returns the CRC-32C of the artifact's record region, the
+// content identity a workload cache keys on.
+func (a *Artifact) Checksum() uint32 { return a.checksum }
+
+// Pin registers an in-flight reader: until the matching Unpin, Close
+// refuses to release the mapping instead of invalidating the reader's
+// cursors mid-read. Pin fails once the artifact is closed.
+func (a *Artifact) Pin() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return fmt.Errorf("trace: artifact %s is closed", a.srcPath)
+	}
+	a.pins++
+	return nil
+}
+
+// Unpin releases a Pin. It panics on a pin/unpin imbalance — that is a
+// caller bug that would otherwise surface as a far-away Close failure.
+func (a *Artifact) Unpin() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pins <= 0 {
+		panic("trace: artifact Unpin without Pin")
+	}
+	a.pins--
+}
+
+// Pins returns the current reader count.
+func (a *Artifact) Pins() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pins
+}
+
+// Close releases the mapping (if any). While readers hold pins it fails
+// with ErrArtifactBusy and releases nothing — their cursors stay valid and
+// a later Close can succeed. It is safe to call twice.
 func (a *Artifact) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.pins > 0 {
+		return fmt.Errorf("trace: close artifact %s: %d reader(s) (%w)", a.srcPath, a.pins, ErrArtifactBusy)
+	}
+	a.closed = true
 	if a.munmap == nil {
 		return nil
 	}
@@ -323,10 +383,11 @@ func openMapped(f *os.File, path string, count int64, crc uint32) (*Artifact, er
 		refs = unsafe.Slice((*Ref)(p), count)
 	}
 	return &Artifact{
-		arena:   &Arena{refs: refs},
-		mapped:  true,
-		munmap:  unmap,
-		srcPath: path,
+		arena:    &Arena{refs: refs},
+		mapped:   true,
+		munmap:   unmap,
+		srcPath:  path,
+		checksum: crc,
 	}, nil
 }
 
@@ -350,7 +411,34 @@ func openCopied(f *os.File, path string, count int64, crc uint32) (*Artifact, er
 			Kind: Kind(rec[10]),
 		}
 	}
-	return &Artifact{arena: &Arena{refs: refs}, srcPath: path}, nil
+	return &Artifact{arena: &Arena{refs: refs}, srcPath: path, checksum: crc}, nil
+}
+
+// ArtifactChecksum reads just the header of an artifact file and returns
+// the CRC-32C it declares for the record region — the cheap (32-byte read)
+// content identity for cache keys, without mapping or validating the body.
+func ArtifactChecksum(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	var hdr [artifactHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("trace: %s: artifact header truncated (%w)", path, ErrCorrupt)
+		}
+		return 0, err
+	}
+	_, crc, err := parseArtifactHeader(hdr[:], st.Size())
+	if err != nil {
+		return 0, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return crc, nil
 }
 
 // isCorruptArtifact distinguishes "the file's bytes are bad" from "this

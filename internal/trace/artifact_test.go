@@ -365,3 +365,105 @@ func BenchmarkStreamDecode1M(b *testing.B) {
 		}
 	}
 }
+
+// TestArtifactCloseUnderConcurrentReaders: Close while pinned readers are
+// mid-cursor must fail with ErrArtifactBusy and leave every reader's view
+// of the trace intact; once the readers unpin, Close succeeds and the
+// arena is poisoned.
+func TestArtifactCloseUnderConcurrentReaders(t *testing.T) {
+	refs := sampleRefs(50_000)
+	path := writeTempArtifact(t, refs)
+	a, err := OpenArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	start := make(chan struct{})
+	done := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		if err := a.Pin(); err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer a.Unpin()
+			<-start
+			c := a.Arena().Cursor()
+			for i := 0; ; i++ {
+				ref, err := c.Next()
+				if err != nil {
+					if i != len(refs) {
+						done <- errors.New("reader stopped early")
+						return
+					}
+					done <- nil
+					return
+				}
+				if ref != refs[i] {
+					done <- errors.New("reader saw a corrupted reference")
+					return
+				}
+			}
+		}()
+	}
+
+	// Hammer Close while the readers run: every call must refuse.
+	close(start)
+	for i := 0; i < 100; i++ {
+		if err := a.Close(); !errors.Is(err, ErrArtifactBusy) {
+			t.Fatalf("Close with %d pinned readers = %v, want ErrArtifactBusy", a.Pins(), err)
+		}
+	}
+	for r := 0; r < readers; r++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Readers drained: Close must now succeed, and new pins must fail.
+	for a.Pins() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close after readers released = %v", err)
+	}
+	if err := a.Pin(); err == nil {
+		t.Fatal("Pin after Close succeeded")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+// TestArtifactChecksumHeaderOnly: the header checksum accessor agrees with
+// the open artifact and rejects damage.
+func TestArtifactChecksumHeaderOnly(t *testing.T) {
+	refs := sampleRefs(100)
+	path := writeTempArtifact(t, refs)
+
+	sum, err := ArtifactChecksum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Checksum() != sum {
+		t.Errorf("ArtifactChecksum = %#x, open artifact says %#x", sum, a.Checksum())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	bad := filepath.Join(t.TempDir(), "bad.mlca")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ArtifactChecksum(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ArtifactChecksum on damaged header = %v, want ErrCorrupt", err)
+	}
+}
