@@ -1,15 +1,23 @@
 // Command mlcserve runs the sweep engine as a long-running HTTP service:
 // clients POST sweep-grid jobs (the same JSON job spec the distributed
-// coordinator uses) to /jobs and stream per-point results back as NDJSON,
-// ending with a rendered table byte-identical to `sweep` CLI output for
-// the same grid. One resident process amortizes workload decoding (a
-// shared refcounted arena cache), hierarchy allocation (a geometry-keyed
-// pool), and repeated grids (a per-point result cache) across every
-// client.
+// coordinator uses) to /jobs and stream per-point results back as NDJSON
+// (or SSE with Accept: text/event-stream), ending with a rendered table
+// byte-identical to `sweep` CLI output for the same grid. One resident
+// process amortizes workload decoding (a shared refcounted arena cache),
+// hierarchy allocation (a geometry-keyed pool), and repeated grids (a
+// per-point result cache) across every client.
+//
+// With -state-dir the service is durable: every completed point and every
+// accepted job is journaled (CRC'd segment-rotated JSONL) before it is
+// streamed, a restarted process replays finished points from disk and
+// finishes interrupted grids in the background — even `kill -9` mid-grid
+// recomputes zero points. With -tenants-config the service is
+// multi-tenant: /jobs requires an API key, each tenant gets token-bucket
+// admission, a weighted share of the run slots, and labeled /metrics.
 //
 // Usage:
 //
-//	mlcserve -addr :9292
+//	mlcserve -addr :9292 -state-dir /var/lib/mlcserve
 //	curl -sN -X POST --data-binary @job.json 'localhost:9292/jobs?csv=1'
 //	curl -s localhost:9292/metrics
 //
@@ -22,10 +30,12 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -33,23 +43,94 @@ import (
 	"mlcache/internal/serve"
 )
 
+// options collects every flag value so validation is testable apart from
+// flag parsing and process exit.
+type options struct {
+	jobs         int
+	queue        int
+	arenaBudget  int64
+	stateDir     string
+	journalMaxMB int64
+	tenantsPath  string
+	anonRate     float64
+	anonBurst    int
+}
+
+// validate rejects unusable flag combinations up front — an unwritable
+// state dir, a zero quota, a malformed tenants table — so the server
+// fails at startup with a clear message instead of panicking mid-job. It
+// returns the parsed tenants table (nil when -tenants-config is unset).
+func validate(o options) (*serve.Tenants, error) {
+	if o.jobs <= 0 {
+		return nil, fmt.Errorf("-jobs must be positive, got %d", o.jobs)
+	}
+	if o.queue <= 0 {
+		return nil, fmt.Errorf("-queue must be positive, got %d", o.queue)
+	}
+	if o.arenaBudget <= 0 {
+		return nil, fmt.Errorf("-arena-budget-mb must be positive, got %d", o.arenaBudget)
+	}
+	if o.anonRate < 0 {
+		return nil, fmt.Errorf("-tenant-rate must be non-negative, got %g", o.anonRate)
+	}
+	if o.anonBurst < 0 {
+		return nil, fmt.Errorf("-tenant-burst must be non-negative, got %d", o.anonBurst)
+	}
+	if o.stateDir != "" {
+		if o.journalMaxMB <= 0 {
+			return nil, fmt.Errorf("-journal-max-mb must be positive, got %d", o.journalMaxMB)
+		}
+		if err := os.MkdirAll(o.stateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("-state-dir %s: %v", o.stateDir, err)
+		}
+		probe := filepath.Join(o.stateDir, ".writable-probe")
+		if err := os.WriteFile(probe, nil, 0o644); err != nil {
+			return nil, fmt.Errorf("-state-dir %s is not writable: %v", o.stateDir, err)
+		}
+		os.Remove(probe)
+	}
+	if o.tenantsPath == "" {
+		return nil, nil
+	}
+	tenants, err := serve.LoadTenants(o.tenantsPath)
+	if err != nil {
+		return nil, fmt.Errorf("-tenants-config: %v", err)
+	}
+	return tenants, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mlcserve: ")
 	var (
 		addr         = flag.String("addr", ":9292", "listen address (host:port)")
 		jobs         = flag.Int("jobs", 4, "max concurrently running jobs")
-		queue        = flag.Int("queue", 16, "max jobs waiting for a slot before 429")
+		queue        = flag.Int("queue", 16, "max jobs waiting for a slot per tenant before 429")
 		par          = flag.Int("par", 0, "simulation workers per job (0 = GOMAXPROCS)")
 		arenaBudget  = flag.Int64("arena-budget-mb", 1024, "workload cache budget in MiB")
 		poolPerGeom  = flag.Int("pool-per-geometry", 4, "idle hierarchies kept per cache geometry")
 		resultPoints = flag.Int("result-cache-points", 65536, "per-point result cache capacity")
+		stateDir     = flag.String("state-dir", "", "journal results and jobs here; restart replays them (empty = in-memory only)")
+		journalMax   = flag.Int64("journal-max-mb", 64, "journal segment rotation threshold in MiB (with -state-dir)")
+		tenantsPath  = flag.String("tenants-config", "", "JSON tenant table turning on API-key auth, quotas, and fair scheduling")
+		anonRate     = flag.Float64("tenant-rate", 0, "anonymous-tenant admission rate in jobs/sec without -tenants-config (0 = unlimited)")
+		anonBurst    = flag.Int("tenant-burst", 0, "anonymous-tenant admission burst (0 = rate-derived)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	tenants, err := validate(options{
+		jobs: *jobs, queue: *queue, arenaBudget: *arenaBudget,
+		stateDir: *stateDir, journalMaxMB: *journalMax,
+		tenantsPath: *tenantsPath, anonRate: *anonRate, anonBurst: *anonBurst,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
+		os.Exit(2)
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -64,11 +145,23 @@ func main() {
 		ArenaBudgetBytes:  *arenaBudget << 20,
 		PoolPerGeometry:   *poolPerGeom,
 		ResultCachePoints: *resultPoints,
+		StateDir:          *stateDir,
+		JournalMaxBytes:   *journalMax << 20,
+		Tenants:           tenants,
+		AnonRatePerSec:    *anonRate,
+		AnonBurst:         *anonBurst,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
-	s := serve.New(cfg)
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
+		os.Exit(2)
+	}
+	if n := s.ResumeInterrupted(); n > 0 {
+		log.Printf("resuming %d interrupted jobs from %s", n, *stateDir)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -98,5 +191,6 @@ func main() {
 		log.Printf("drain incomplete after %v: %v", *drainTimeout, err)
 		os.Exit(1)
 	}
+	s.Close()
 	log.Print("drained cleanly")
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goodOptions() options {
+	return options{jobs: 4, queue: 16, arenaBudget: 1024, journalMaxMB: 64}
+}
+
+func TestValidateRejectsBadFlagCombinations(t *testing.T) {
+	// A regular file where a directory is needed defeats MkdirAll even for
+	// root, unlike permission bits.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badTenants := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(badTenants, []byte(`{"tenants": [{"name": "a"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"zero jobs", func(o *options) { o.jobs = 0 }, "-jobs"},
+		{"negative jobs", func(o *options) { o.jobs = -1 }, "-jobs"},
+		{"zero queue", func(o *options) { o.queue = 0 }, "-queue"},
+		{"zero arena budget", func(o *options) { o.arenaBudget = 0 }, "-arena-budget-mb"},
+		{"negative rate", func(o *options) { o.anonRate = -1 }, "-tenant-rate"},
+		{"negative burst", func(o *options) { o.anonBurst = -1 }, "-tenant-burst"},
+		{
+			"zero journal size with state dir",
+			func(o *options) { o.stateDir = t.TempDir(); o.journalMaxMB = 0 },
+			"-journal-max-mb",
+		},
+		{
+			"unwritable state dir",
+			func(o *options) { o.stateDir = filepath.Join(blocker, "state") },
+			"-state-dir",
+		},
+		{
+			"missing tenants config",
+			func(o *options) { o.tenantsPath = filepath.Join(t.TempDir(), "nope.json") },
+			"no such file",
+		},
+		{
+			"invalid tenants config",
+			func(o *options) { o.tenantsPath = badTenants },
+			"-tenants-config",
+		},
+	}
+	for _, tc := range cases {
+		o := goodOptions()
+		tc.mutate(&o)
+		_, err := validate(o)
+		if err == nil {
+			t.Errorf("%s: validate accepted %+v", tc.name, o)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateAcceptsWorkingConfigs(t *testing.T) {
+	// Plain in-memory server.
+	if _, err := validate(goodOptions()); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+
+	// Durable server: the state dir is created on demand.
+	o := goodOptions()
+	o.stateDir = filepath.Join(t.TempDir(), "nested", "state")
+	if _, err := validate(o); err != nil {
+		t.Fatalf("writable -state-dir rejected: %v", err)
+	}
+	if fi, err := os.Stat(o.stateDir); err != nil || !fi.IsDir() {
+		t.Fatalf("validate did not create %s: %v", o.stateDir, err)
+	}
+
+	// Tenant table round-trips through LoadTenants.
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	cfg := `{"tenants": [
+		{"name": "alice", "key": "ak_alice", "weight": 2, "rate_per_sec": 1, "burst": 4},
+		{"name": "bob", "key": "ak_bob"}
+	]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = goodOptions()
+	o.tenantsPath = path
+	tenants, err := validate(o)
+	if err != nil {
+		t.Fatalf("valid tenants config rejected: %v", err)
+	}
+	if tenants == nil {
+		t.Fatal("validate returned a nil tenant table for a valid config")
+	}
+}

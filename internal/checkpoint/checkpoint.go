@@ -18,11 +18,13 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Format identifies the journal file format; Version is bumped on any
@@ -57,14 +59,32 @@ func recordCRC(key string, data []byte) uint32 {
 type Journal struct {
 	f    *os.File
 	path string
+	size int64
 	err  error
 }
 
+// syncDir fsyncs a directory so that a just-created (or just-renamed)
+// journal file's directory entry survives power loss, not only its bytes.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Open opens (or creates) the journal at path for appending. A fresh or
-// empty file gets the version header; an existing file is validated so that
-// records of an incompatible version are never mixed.
+// empty file gets the version header, fsynced along with its parent
+// directory so the journal itself survives power loss. An existing file is
+// validated so that records of an incompatible version are never mixed,
+// and a torn tail left by a crash mid-append is truncated away so new
+// records are never glued onto a partial line (which would corrupt both).
 func Open(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -74,25 +94,82 @@ func Open(path string) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{f: f, path: path}
-	if st.Size() == 0 {
+	writeHeader := func() error {
 		hdr, _ := json.Marshal(header{Format: Format, Version: Version})
 		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			return err
+		}
+		j.size = int64(len(hdr)) + 1
+		return f.Sync()
+	}
+	if st.Size() == 0 {
+		if err := writeHeader(); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if err := f.Sync(); err != nil {
+		if err := syncDir(filepath.Dir(path)); err != nil {
 			f.Close()
 			return nil, err
 		}
 		return j, nil
 	}
-	// Existing journal: check the header without disturbing the append
-	// offset (reads use ReadAt).
-	if err := checkHeader(io.NewSectionReader(f, 0, st.Size())); err != nil {
+	// Existing journal: recover from a torn tail, then validate the
+	// header without disturbing the append offset (reads use ReadAt).
+	size, err := truncateTornTail(f, st.Size())
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
+	j.size = size
+	if size == 0 {
+		// Even the header was torn; start the journal over.
+		if err := writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return j, nil
+	}
+	if err := checkHeader(io.NewSectionReader(f, 0, size)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return j, nil
+}
+
+// truncateTornTail cuts the file back to the end of its last complete
+// (newline-terminated) line, returning the resulting size. A file whose
+// final byte is '\n' is untouched.
+func truncateTornTail(f *os.File, size int64) (int64, error) {
+	end := size
+	buf := make([]byte, 64*1024)
+	for end > 0 {
+		n := int64(len(buf))
+		if n > end {
+			n = end
+		}
+		if _, err := f.ReadAt(buf[:n], end-n); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			end = end - n + int64(i) + 1
+			break
+		}
+		end -= n
+	}
+	if end == size {
+		return size, nil
+	}
+	if err := f.Truncate(end); err != nil {
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return end, nil
 }
 
 func checkHeader(r io.Reader) error {
@@ -138,7 +215,9 @@ func (j *Journal) Append(key string, data any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal %q: %w", key, err)
 	}
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
+	n, err := j.f.Write(append(line, '\n'))
+	j.size += int64(n)
+	if err != nil {
 		j.err = err
 		return err
 	}
@@ -151,6 +230,9 @@ func (j *Journal) Append(key string, data any) error {
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
+
+// Size returns the journal's current byte size (header included).
+func (j *Journal) Size() int64 { return j.size }
 
 // Close closes the underlying file.
 func (j *Journal) Close() error { return j.f.Close() }

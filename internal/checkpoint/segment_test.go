@@ -1,0 +1,242 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type segPayload struct {
+	N int `json:"n"`
+}
+
+// TestSegmentedRotation: appends beyond the byte threshold split across
+// multiple segment files, and LoadSegmented reassembles every record.
+func TestSegmentedRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, "res", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotations := 0
+	for i := 0; i < 20; i++ {
+		rot, err := s.Append(fmt.Sprintf("key-%02d", i), segPayload{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rot {
+			rotations++
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rotations == 0 {
+		t.Fatal("no rotation despite tiny threshold")
+	}
+	if n := s.Segments(); n < 2 {
+		t.Fatalf("segments = %d, want >= 2", n)
+	}
+	set, err := LoadSegmented(dir, "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 20 || set.Dropped != 0 {
+		t.Fatalf("loaded %d records (%d dropped), want 20, 0", set.Len(), set.Dropped)
+	}
+	for i := 0; i < 20; i++ {
+		var p segPayload
+		if err := json.Unmarshal(set.Records[fmt.Sprintf("key-%02d", i)], &p); err != nil || p.N != i {
+			t.Fatalf("key-%02d: payload %v err %v", i, p, err)
+		}
+	}
+}
+
+// TestSegmentedLastWins: a key rewritten in a later segment shadows every
+// earlier copy on load.
+func TestSegmentedLastWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, "res", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := s.Append("dup", segPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	set, err := LoadSegmented(dir, "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p segPayload
+	if err := json.Unmarshal(set.Records["dup"], &p); err != nil || p.N != 11 {
+		t.Fatalf("dup resolved to %v (err %v), want n=11", p, err)
+	}
+}
+
+// TestSegmentedCompact: compaction folds every segment into one file
+// holding only the kept records, appends keep working afterwards, and a
+// reload sees exactly the survivors plus the new appends.
+func TestSegmentedCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, "res", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := s.Append(fmt.Sprintf("key-%02d", i), segPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Segments(); n < 2 {
+		t.Fatalf("precondition: segments = %d, want >= 2", n)
+	}
+	err = s.Compact(func(key string, _ json.RawMessage) bool {
+		var i int
+		fmt.Sscanf(key, "key-%d", &i)
+		return i%2 == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Segments(); n != 1 {
+		t.Fatalf("segments after compact = %d, want 1", n)
+	}
+	if _, err := s.Append("after", segPayload{N: 99}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	set, err := LoadSegmented(dir, "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 9 { // 8 even keys + "after"
+		t.Fatalf("loaded %d records, want 9: %v", set.Len(), keysOf(set))
+	}
+	if set.Has("key-01") || !set.Has("key-02") || !set.Has("after") {
+		t.Fatalf("wrong survivors: %v", keysOf(set))
+	}
+
+	// Reopen for append: the compacted segment is the live one.
+	s2, err := OpenSegmented(dir, "res", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Append("reopened", segPayload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	set, err = LoadSegmented(dir, "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Has("reopened") || set.Len() != 10 {
+		t.Fatalf("after reopen: %v", keysOf(set))
+	}
+}
+
+func keysOf(s Set) []string {
+	var ks []string
+	for k := range s.Records {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TestLoadSegmentedMissingDir: a state dir that never existed replays as
+// empty, not as an error.
+func TestLoadSegmentedMissingDir(t *testing.T) {
+	set, err := LoadSegmented(filepath.Join(t.TempDir(), "nope"), "res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 0 || set.Dropped != 0 {
+		t.Fatalf("set = %+v, want empty", set)
+	}
+}
+
+// TestOpenTruncatesTornTail is the crash-consistency check: a journal
+// whose last record was torn by a crash mid-write reopens cleanly — the
+// torn tail is truncated away, so a new append lands on its own line
+// instead of being glued onto the partial record (which would corrupt
+// both), and a subsequent load drops nothing.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(fmt.Sprintf("key-%d", i), segPayload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Crash mid-append: the last record loses its tail (and newline).
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append("key-3", segPayload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	set, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Dropped != 0 {
+		t.Fatalf("dropped = %d after clean recovery, want 0", set.Dropped)
+	}
+	for _, want := range []string{"key-0", "key-1", "key-3"} {
+		if !set.Has(want) {
+			t.Errorf("missing %s after recovery: %v", want, keysOf(set))
+		}
+	}
+	if set.Has("key-2") {
+		t.Error("torn record key-2 survived truncation")
+	}
+}
+
+// TestOpenTornHeader: a crash that tears even the header line restarts the
+// journal rather than failing forever.
+func TestOpenTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.ckpt")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	set, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Has("k") || set.Dropped != 0 {
+		t.Fatalf("set = %+v", set)
+	}
+}

@@ -52,6 +52,12 @@ type JobSpec struct {
 	Lenient int `json:"lenient,omitempty"`
 	// CheckInvariants enables the per-access cache-state validator.
 	CheckInvariants bool `json:"check_invariants,omitempty"`
+	// Tenant labels the job with the submitting tenant's name. It is
+	// metadata only — set authoritatively by the serve layer from the
+	// request's API key (any client-supplied value is overwritten), never
+	// part of grid enumeration, runner construction, or result cache
+	// keys, so identical grids from different tenants share work.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Validate rejects a spec that cannot enumerate a grid.

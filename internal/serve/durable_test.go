@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mlcache/internal/checkpoint"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRestartReplaysResultCache: a server that completed a grid and then
+// died without any shutdown (no Close — the crash case) is replaced by a
+// fresh process over the same state dir, which serves the same grid
+// entirely from the journal: zero points simulated, byte-identical table.
+func TestRestartReplaysResultCache(t *testing.T) {
+	dir := t.TempDir()
+	spec := gridSpec()
+	want := referenceTable(t, spec, false)
+	npts := len(spec.Points())
+
+	s1 := newTestServer(t, Config{StateDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+	js := postJob(t, ts1.Client(), ts1.URL+"/jobs", spec)
+	if !js.gotDone || js.done.Table != want {
+		t.Fatalf("first run: done=%t table ok=%t", js.gotDone, js.done.Table == want)
+	}
+	ts1.Close()
+	// No s1.Close(): the process "crashed" with the journals mid-life.
+
+	s2 := newTestServer(t, Config{StateDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if got := s2.metrics.pointsReplayed.Load(); got != int64(npts) {
+		t.Fatalf("replayed %d points, want %d", got, npts)
+	}
+	js2 := postJob(t, ts2.Client(), ts2.URL+"/jobs", spec)
+	if js2.done.Cached != npts {
+		t.Errorf("restarted server cached %d of %d points", js2.done.Cached, npts)
+	}
+	if got := s2.metrics.pointsTotal.Load(); got != 0 {
+		t.Errorf("restarted server simulated %d points, want 0", got)
+	}
+	if js2.done.Table != want {
+		t.Errorf("replayed table differs from reference:\ngot:\n%s\nwant:\n%s", js2.done.Table, want)
+	}
+}
+
+// TestRestartMidGridZeroRecompute is the crash-mid-grid acceptance check:
+// the client vanishes partway through a big grid (so only a prefix of
+// points ever completed and hit the journal), the server is replaced
+// without any shutdown, and the resubmitted grid must complete with every
+// previously finished point replayed — across both lifetimes each point
+// is simulated at most once, and the final table is byte-identical to an
+// uninterrupted run.
+func TestRestartMidGridZeroRecompute(t *testing.T) {
+	dir := t.TempDir()
+	spec := gridSpec()
+	spec.SizesBytes = []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+	spec.CyclesNS = []int64{10, 20, 30, 40}
+	spec.Refs = 300000
+	npts := len(spec.Points())
+	want := referenceTable(t, spec, false)
+
+	s1 := newTestServer(t, Config{StateDir: dir})
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// Stream until at least one completed point, then hang up mid-grid.
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(spec)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts1.URL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts1.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 2; i++ { // start line + first result line
+		if _, err := br.ReadBytes('\n'); err != nil {
+			t.Fatalf("reading line %d: %v", i, err)
+		}
+	}
+	cancel()
+	resp.Body.Close()
+	waitFor(t, "cancellation", func() bool {
+		return s1.metrics.jobsCanceled.Load() == 1 && s1.metrics.jobsActive.Load() == 0
+	})
+	simulated1 := s1.metrics.pointsTotal.Load()
+	if simulated1 == 0 || simulated1 >= int64(npts) {
+		t.Fatalf("first life simulated %d of %d points; want a strict prefix", simulated1, npts)
+	}
+	ts1.Close() // crash: no s1.Close()
+
+	s2 := newTestServer(t, Config{StateDir: dir})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if got := s2.metrics.pointsReplayed.Load(); got != simulated1 {
+		t.Fatalf("replayed %d points, want %d", got, simulated1)
+	}
+	js := postJob(t, ts2.Client(), ts2.URL+"/jobs", spec)
+	if !js.gotDone {
+		t.Fatal("restarted run never finished")
+	}
+	if js.done.Cached != int(simulated1) {
+		t.Errorf("restarted run served %d points from the journal, want %d", js.done.Cached, simulated1)
+	}
+	// Zero recompute: the two lifetimes together simulated each point
+	// exactly once.
+	if got := simulated1 + s2.metrics.pointsTotal.Load(); got != int64(npts) {
+		t.Errorf("lifetimes simulated %d points total, want %d (recompute!)", got, npts)
+	}
+	for _, rl := range js.results {
+		if rl.Cached && rl.Run == nil {
+			t.Errorf("replayed point %d has no result payload", rl.Index)
+		}
+	}
+	if js.done.Table != want {
+		t.Errorf("post-restart table differs from uninterrupted reference:\ngot:\n%s\nwant:\n%s", js.done.Table, want)
+	}
+}
+
+// TestResumeInterruptedJobs: a job journaled as running with no terminal
+// record (the SIGKILL case) is finished in the background by the
+// restarted server — by the time the client retries, the grid replays
+// entirely from cache — and its terminal state is journaled so a second
+// restart does not resume it again.
+func TestResumeInterruptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	spec := gridSpec()
+	want := referenceTable(t, spec, false)
+	npts := len(spec.Points())
+
+	// Craft the journal a killed server would leave: a running job record
+	// and no results.
+	jobs, err := checkpoint.OpenSegmented(dir, "jobs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jobs.Append(jobKey(7), jobRecord{Spec: spec, Status: statusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	jobs.Close()
+
+	s := newTestServer(t, Config{StateDir: dir})
+	if n := s.ResumeInterrupted(); n != 1 {
+		t.Fatalf("ResumeInterrupted = %d, want 1", n)
+	}
+	waitFor(t, "background resume", func() bool { return s.metrics.jobsResumed.Load() == 1 })
+	if got := s.metrics.pointsTotal.Load(); got != int64(npts) {
+		t.Errorf("resume simulated %d points, want %d", got, npts)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	js := postJob(t, ts.Client(), ts.URL+"/jobs", spec)
+	if js.done.Cached != npts {
+		t.Errorf("retry after resume cached %d of %d points", js.done.Cached, npts)
+	}
+	if js.done.Table != want {
+		t.Error("resumed grid table differs from reference")
+	}
+
+	// The job's terminal record is durable: reload and check.
+	set, err := checkpoint.LoadSegmented(dir, "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(set.Records[jobKey(7)], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != statusDone {
+		t.Errorf("resumed job journaled as %q, want %q", rec.Status, statusDone)
+	}
+	// New job IDs continue past the journaled sequence.
+	if s.jobSeq <= 7 {
+		t.Errorf("jobSeq = %d, want > 7", s.jobSeq)
+	}
+}

@@ -15,6 +15,10 @@ import (
 // long traces (minutes).
 var latencyBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
 
+// admitBuckets bound the per-tenant job-admission wait histogram: how long
+// a job sat in the fair queue before getting a run slot.
+var admitBuckets = []float64{0.001, 0.01, 0.05, 0.25, 1, 5, 30, 120}
+
 // histogram is a fixed-bucket cumulative histogram in the Prometheus
 // style: counts[i] is the number of observations <= buckets[i], and the
 // implicit +Inf bucket is count.
@@ -57,16 +61,20 @@ func (h *histogram) mean() float64 {
 type metrics struct {
 	start time.Time
 
-	jobsTotal    atomic.Int64 // accepted jobs (includes canceled)
-	jobsRejected atomic.Int64 // 429 backpressure rejections
-	jobsCanceled atomic.Int64 // client disconnected mid-grid
-	jobsActive   atomic.Int64
-	queueDepth   atomic.Int64
+	jobsTotal         atomic.Int64 // accepted jobs (includes canceled)
+	jobsRejected      atomic.Int64 // 429 queue-backpressure rejections
+	jobsRejectedQuota atomic.Int64 // 429 per-tenant token-bucket rejections
+	jobsUnauthorized  atomic.Int64 // 401 missing/unknown API key
+	jobsCanceled      atomic.Int64 // client disconnected mid-grid
+	jobsResumed       atomic.Int64 // interrupted jobs finished after restart
+	jobsActive        atomic.Int64
+	queueDepth        atomic.Int64
 
-	pointsTotal  atomic.Int64 // simulated points
-	pointsCached atomic.Int64 // served from the result cache
-	pointsFailed atomic.Int64
-	refsTotal    atomic.Int64 // references simulated
+	pointsTotal    atomic.Int64 // points simulated by this process
+	pointsCached   atomic.Int64 // served from the result cache
+	pointsReplayed atomic.Int64 // loaded into the cache from the journal at startup
+	pointsFailed   atomic.Int64
+	refsTotal      atomic.Int64 // references simulated
 
 	jobSeconds *histogram
 }
@@ -75,9 +83,43 @@ func newMetrics() *metrics {
 	return &metrics{start: time.Now(), jobSeconds: newHistogram(latencyBuckets)}
 }
 
+// tenantMetrics is one tenant's slice of the traffic counters, exported
+// with a tenant label.
+type tenantMetrics struct {
+	jobs          atomic.Int64
+	points        atomic.Int64
+	pointsCached  atomic.Int64
+	rejectedQuota atomic.Int64
+	rejectedQueue atomic.Int64
+	canceled      atomic.Int64
+	admitSeconds  *histogram
+}
+
+// writeHistogram renders one histogram in Prometheus exposition format.
+// labels, when non-empty, is the rendered label set minus the le pair
+// (e.g. `tenant="alice"`).
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, fmt.Sprintf("%g", b), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.sum, name, h.count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.sum, name, labels, h.count)
+	}
+	h.mu.Unlock()
+}
+
 // writePrometheus renders every server metric in Prometheus text
-// exposition format (version 0.0.4).
-func (m *metrics) writePrometheus(w io.Writer, arenas ArenaCacheStats, pool memsys.PoolStats) {
+// exposition format (version 0.0.4). tenants must be sorted by name so
+// the exposition is deterministic.
+func (m *metrics) writePrometheus(w io.Writer, arenas ArenaCacheStats, pool memsys.PoolStats, tenants []*tenant) {
 	up := time.Since(m.start).Seconds()
 	refsPerSec := 0.0
 	if up > 0 {
@@ -97,12 +139,16 @@ func (m *metrics) writePrometheus(w io.Writer, arenas ArenaCacheStats, pool mems
 	gaugeF("mlcserve_uptime_seconds", "Seconds since the server started.", up)
 	counter("mlcserve_jobs_total", "Sweep jobs accepted.", m.jobsTotal.Load())
 	counter("mlcserve_jobs_rejected_total", "Jobs rejected with 429 by queue backpressure.", m.jobsRejected.Load())
+	counter("mlcserve_jobs_rejected_quota_total", "Jobs rejected with 429 by a tenant's token bucket.", m.jobsRejectedQuota.Load())
+	counter("mlcserve_jobs_unauthorized_total", "Requests rejected with 401 for a missing or unknown API key.", m.jobsUnauthorized.Load())
 	counter("mlcserve_jobs_canceled_total", "Jobs abandoned because the client disconnected.", m.jobsCanceled.Load())
+	counter("mlcserve_jobs_resumed_total", "Journaled jobs finished in the background after a restart.", m.jobsResumed.Load())
 	gaugeI("mlcserve_jobs_active", "Jobs currently simulating or streaming.", m.jobsActive.Load())
 	gaugeI("mlcserve_queue_depth", "Jobs waiting for a run slot.", m.queueDepth.Load())
 
 	counter("mlcserve_points_total", "Grid points simulated.", m.pointsTotal.Load())
 	counter("mlcserve_points_cached_total", "Grid points served from the result cache.", m.pointsCached.Load())
+	counter("mlcserve_points_replayed_total", "Grid points replayed into the result cache from the state journal.", m.pointsReplayed.Load())
 	counter("mlcserve_points_failed_total", "Grid points that failed simulation.", m.pointsFailed.Load())
 	counter("mlcserve_refs_simulated_total", "Trace references simulated.", m.refsTotal.Load())
 	gaugeF("mlcserve_refs_per_second", "Mean simulation throughput since start.", refsPerSec)
@@ -121,12 +167,32 @@ func (m *metrics) writePrometheus(w io.Writer, arenas ArenaCacheStats, pool mems
 
 	name := "mlcserve_job_duration_seconds"
 	fmt.Fprintf(w, "# HELP %s Wall time of completed jobs.\n# TYPE %s histogram\n", name, name)
-	m.jobSeconds.mu.Lock()
-	for i, b := range m.jobSeconds.bounds {
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), m.jobSeconds.counts[i])
+	writeHistogram(w, name, "", m.jobSeconds)
+
+	if len(tenants) == 0 {
+		return
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, m.jobSeconds.count)
-	fmt.Fprintf(w, "%s_sum %g\n", name, m.jobSeconds.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, m.jobSeconds.count)
-	m.jobSeconds.mu.Unlock()
+	tcounter := func(name, help string, get func(*tenantMetrics) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t.name, get(&t.m))
+		}
+	}
+	tcounter("mlcserve_tenant_jobs_total", "Jobs accepted per tenant.",
+		func(m *tenantMetrics) int64 { return m.jobs.Load() })
+	tcounter("mlcserve_tenant_points_total", "Points simulated per tenant.",
+		func(m *tenantMetrics) int64 { return m.points.Load() })
+	tcounter("mlcserve_tenant_points_cached_total", "Points served from the result cache per tenant.",
+		func(m *tenantMetrics) int64 { return m.pointsCached.Load() })
+	tcounter("mlcserve_tenant_rejected_quota_total", "Jobs rejected by the tenant's token bucket.",
+		func(m *tenantMetrics) int64 { return m.rejectedQuota.Load() })
+	tcounter("mlcserve_tenant_rejected_queue_total", "Jobs rejected because the tenant's queue share was full.",
+		func(m *tenantMetrics) int64 { return m.rejectedQueue.Load() })
+	tcounter("mlcserve_tenant_jobs_canceled_total", "Jobs abandoned by the tenant's client mid-grid.",
+		func(m *tenantMetrics) int64 { return m.canceled.Load() })
+	hname := "mlcserve_tenant_admission_wait_seconds"
+	fmt.Fprintf(w, "# HELP %s Time a tenant's jobs waited for a run slot.\n# TYPE %s histogram\n", hname, hname)
+	for _, t := range tenants {
+		writeHistogram(w, hname, fmt.Sprintf("tenant=%q", t.name), t.m.admitSeconds)
+	}
 }

@@ -51,9 +51,13 @@ func newResultCache(maxPoints int) *resultCache {
 func pointKey(base string, pt sweep.Point) string { return base + "|" + pt.String() }
 
 func (rc *resultCache) get(base string, pt sweep.Point) (cpu.Result, bool) {
+	return rc.getKey(pointKey(base, pt))
+}
+
+func (rc *resultCache) getKey(key string) (cpu.Result, bool) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	el, ok := rc.entries[pointKey(base, pt)]
+	el, ok := rc.entries[key]
 	if !ok {
 		return cpu.Result{}, false
 	}
@@ -61,8 +65,20 @@ func (rc *resultCache) get(base string, pt sweep.Point) (cpu.Result, bool) {
 	return el.Value.(*resultEntry).run, true
 }
 
+// has reports residency without touching LRU order — the durable layer's
+// compaction probe must not distort recency.
+func (rc *resultCache) has(key string) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	_, ok := rc.entries[key]
+	return ok
+}
+
 func (rc *resultCache) put(base string, pt sweep.Point, run cpu.Result) {
-	key := pointKey(base, pt)
+	rc.putKey(pointKey(base, pt), run)
+}
+
+func (rc *resultCache) putKey(key string, run cpu.Result) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if el, ok := rc.entries[key]; ok {

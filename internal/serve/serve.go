@@ -2,9 +2,9 @@
 // batch cmd/sweep CLI to a resident, multi-client server. Clients POST a
 // coord.JobSpec (the same serializable description the distributed
 // coordinator ships to workers) and receive per-point results streamed as
-// NDJSON in completion order, followed by a final record carrying the
-// full sweep.WriteTable rendering — byte-identical to a single-process
-// `sweep` run of the same grid.
+// NDJSON — or SSE for browser clients — in completion order, followed by a
+// final record carrying the full sweep.WriteTable rendering, byte-identical
+// to a single-process `sweep` run of the same grid.
 //
 // What makes the service worth being resident:
 //
@@ -18,22 +18,37 @@
 //   - No re-simulation: a per-point result cache keyed by (workload +
 //     machine, point) serves repeated or overlapping grids from memory.
 //
-// Robustness: a bounded admission queue answers overload with 429 +
-// Retry-After instead of collapsing; a client disconnect cancels its
-// job's context and frees the workers at the next batch boundary; Drain
-// flips /healthz to 503 and rejects new jobs while in-flight grids finish
-// (SIGTERM handling in cmd/mlcserve). /metrics exposes the whole
-// trajectory — refs/sec, cache hit/miss/evictions, pool reuse, queue
-// depth, job latency histogram — in Prometheus text format.
+// Durability (Config.StateDir): every completed point and every accepted
+// job is journaled to CRC'd, segment-rotated JSONL (internal/checkpoint)
+// before its result line reaches the client. A restarted server replays
+// the journal into the result cache and finishes interrupted jobs in the
+// background (ResumeInterrupted), so even `kill -9` mid-grid costs zero
+// recomputed points and the final table stays byte-identical.
+//
+// Multi-tenancy (Config.Tenants): API-key identity on /jobs, a per-tenant
+// token bucket on admission, and a weighted fair queue for run slots, so
+// one flooding client delays only itself. /metrics carries per-tenant
+// labeled counters next to the global trajectory.
+//
+// Robustness: the bounded fair queue answers overload with 429 + a
+// jittered Retry-After instead of collapsing; a client disconnect cancels
+// its job's context and frees the workers at the next batch boundary;
+// Drain flips /healthz to 503 and rejects new jobs while in-flight grids
+// finish (SIGTERM handling in cmd/mlcserve).
 package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,8 +66,10 @@ type Config struct {
 	// up to Parallelism workers, so total simulation threads are
 	// MaxJobs × Parallelism.
 	MaxJobs int
-	// MaxQueue bounds jobs waiting for a run slot (default 16); beyond
-	// it, submissions are rejected with 429 and a Retry-After estimate.
+	// MaxQueue bounds jobs waiting for a run slot (default 16) — per
+	// tenant, so one tenant's backlog cannot crowd others out of the
+	// waiting room. Beyond it, submissions are rejected with 429 and a
+	// jittered Retry-After estimate.
 	MaxQueue int
 	// Parallelism bounds each job's simulation workers (0 = GOMAXPROCS).
 	Parallelism int
@@ -63,6 +80,21 @@ type Config struct {
 	PoolPerGeometry int
 	// ResultCachePoints bounds the per-point result cache (default 65536).
 	ResultCachePoints int
+	// StateDir, when non-empty, makes the server durable: per-point
+	// results and job state are journaled there and replayed on restart.
+	StateDir string
+	// JournalMaxBytes is the journal segment rotation threshold
+	// (default 64 MiB).
+	JournalMaxBytes int64
+	// Tenants, when non-nil, turns on API-key authentication: /jobs
+	// requires a configured key, and each tenant gets its own token
+	// bucket, fair-queue weight, and metric labels. Nil means open
+	// access as one anonymous tenant.
+	Tenants *Tenants
+	// AnonRatePerSec / AnonBurst quota the anonymous tenant when Tenants
+	// is nil (0 = unlimited).
+	AnonRatePerSec float64
+	AnonBurst      int
 	// Logf receives operational events; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -82,37 +114,121 @@ func (c Config) maxQueue() int {
 }
 
 // Server is the resident sweep service. Create with New, mount Handler on
-// an http.Server, call Drain on shutdown.
+// an http.Server, call Drain on shutdown (and Close once drained).
 type Server struct {
 	cfg     Config
 	arenas  *ArenaCache
 	pool    *memsys.Pool
 	results *resultCache
 	metrics *metrics
-	slots   chan struct{}
+	queue   *fairQueue
+	durable *durable
+
+	// byKey/byName index the runtime tenants; sorted is the stable order
+	// for /metrics. anon is the single open-access tenant when no tenant
+	// table is configured.
+	byKey  map[string]*tenant
+	byName map[string]*tenant
+	sorted []*tenant
+	anon   *tenant
 
 	mu       sync.Mutex
-	waiting  int
 	draining bool
+	jobSeq   int64
+	pending  []pendingJob // journaled running jobs awaiting ResumeInterrupted
 
-	jobSeq int64
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
-// New returns a ready Server.
-func New(cfg Config) *Server {
-	return &Server{
+// pendingJob is one interrupted job recovered from the journal.
+type pendingJob struct {
+	id  int64
+	rec jobRecord
+}
+
+// New returns a ready Server. With Config.StateDir set it replays the
+// journals: finished points land in the result cache (counted by
+// mlcserve_points_replayed_total) and interrupted jobs are queued for
+// ResumeInterrupted.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
 		cfg:     cfg,
 		arenas:  NewArenaCache(cfg.ArenaBudgetBytes),
 		pool:    memsys.NewPool(cfg.PoolPerGeometry),
 		results: newResultCache(cfg.ResultCachePoints),
 		metrics: newMetrics(),
-		slots:   make(chan struct{}, cfg.maxJobs()),
+		byKey:   map[string]*tenant{},
+		byName:  map[string]*tenant{},
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	s.queue = newFairQueue(cfg.maxJobs(), cfg.maxQueue(), &s.metrics.queueDepth)
+	if cfg.Tenants != nil {
+		for _, name := range cfg.Tenants.names {
+			tc := cfg.Tenants.byName[name]
+			tn := newTenant(*tc)
+			s.byKey[tc.Key] = tn
+			s.byName[name] = tn
+			s.sorted = append(s.sorted, tn)
+		}
+	} else {
+		s.anon = newTenant(TenantConfig{
+			Name: "anonymous", RatePerSec: cfg.AnonRatePerSec, Burst: cfg.AnonBurst,
+		})
+		s.byName[s.anon.name] = s.anon
+		s.sorted = []*tenant{s.anon}
+	}
+	if cfg.StateDir != "" {
+		d, resultsSet, jobsSet, err := openDurable(cfg.StateDir, cfg.JournalMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.durable = d
+		replayed := int64(0)
+		for key, raw := range resultsSet.Records {
+			var run cpu.Result
+			if err := json.Unmarshal(raw, &run); err != nil {
+				s.logf("state: dropping unreadable result %s: %v", key, err)
+				continue
+			}
+			s.results.putKey(key, run)
+			replayed++
+		}
+		s.metrics.pointsReplayed.Store(replayed)
+		for key, raw := range jobsSet.Records {
+			seq, ok := parseJobKey(key)
+			if !ok {
+				continue
+			}
+			if seq > s.jobSeq {
+				s.jobSeq = seq
+			}
+			var rec jobRecord
+			if err := json.Unmarshal(raw, &rec); err != nil || rec.Status != statusRunning {
+				continue
+			}
+			s.pending = append(s.pending, pendingJob{id: seq, rec: rec})
+		}
+		sort.Slice(s.pending, func(i, j int) bool { return s.pending[i].id < s.pending[j].id })
+		if dropped := resultsSet.Dropped + jobsSet.Dropped; dropped > 0 {
+			s.logf("state: dropped %d torn/corrupt journal records (expected after a crash)", dropped)
+		}
+		s.logf("state: replayed %d points, %d interrupted jobs pending", replayed, len(s.pending))
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
+	}
+}
+
+// Close releases the durable journals. Call after the HTTP server has
+// shut down; a crash (the whole point of the journal) skips it harmlessly.
+func (s *Server) Close() {
+	if s.durable != nil {
+		s.durable.close()
 	}
 }
 
@@ -143,6 +259,50 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// ResumeInterrupted finishes, in the background, every journaled job that
+// was still running when the previous process died: each one re-enters
+// the fair queue under its original tenant and runs with no client
+// attached, its points landing in the durable result cache. By the time
+// the submitting client retries, the whole grid replays from cache with
+// zero recomputation. Returns the number of jobs being resumed;
+// mlcserve_jobs_resumed_total counts them as they finish.
+func (s *Server) ResumeInterrupted() int {
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, p := range pending {
+		p := p
+		go func() {
+			tn := s.tenantByName(p.rec.Spec.Tenant)
+			ok, _ := s.queue.acquire(nil, tn)
+			if !ok {
+				return // unreachable: a nil done channel never fires
+			}
+			defer s.queue.release()
+			s.logf("resuming job %d (tenant %s)", p.id, tn.name)
+			status := s.runJob(context.Background(), p.id, p.rec.Spec, tn, nopSink{}, false,
+				func(err error) { s.logf("resume job %d: %v", p.id, err) })
+			s.journalJob(p.id, p.rec.Spec, status)
+			s.metrics.jobsResumed.Add(1)
+		}()
+	}
+	return len(pending)
+}
+
+// tenantByName resolves a journaled tenant name to its runtime tenant,
+// falling back to a detached ad-hoc tenant when the config no longer
+// knows the name (the job still deserves finishing).
+func (s *Server) tenantByName(name string) *tenant {
+	if tn, ok := s.byName[name]; ok {
+		return tn
+	}
+	if s.anon != nil {
+		return s.anon
+	}
+	return newTenant(TenantConfig{Name: name})
+}
+
 // handleHealthz reports liveness; a draining server answers 503 so
 // rolling restarts shift traffic before the listener closes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -163,7 +323,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.arenas.Stats(), s.pool.Stats())
+	s.metrics.writePrometheus(w, s.arenas.Stats(), s.pool.Stats(), s.sorted)
 }
 
 // retryAfterSeconds estimates when a queue slot may free up: the mean job
@@ -180,45 +340,46 @@ func (s *Server) retryAfterSeconds() int {
 	return sec
 }
 
-// acquireSlot admits a job under the bounded queue, honoring ctx. It
-// returns false (with the HTTP response already written) on rejection or
-// client abandonment.
-func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
-	select {
-	case s.slots <- struct{}{}:
-		return true
-	default:
+// jitterRetryAfter spreads a Retry-After estimate across ±20% so clients
+// rejected in the same overload burst don't all resubmit in lockstep and
+// recreate the burst. Always at least 1.
+func jitterRetryAfter(sec int, rng *rand.Rand) int {
+	if sec < 1 {
+		sec = 1
 	}
-	s.mu.Lock()
-	if s.waiting >= s.cfg.maxQueue() {
-		s.mu.Unlock()
-		s.metrics.jobsRejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		http.Error(w, "job queue full", http.StatusTooManyRequests)
-		return false
+	j := int(math.Round(float64(sec) * (0.8 + 0.4*rng.Float64())))
+	if j < 1 {
+		j = 1
 	}
-	s.waiting++
-	s.metrics.queueDepth.Store(int64(s.waiting))
-	s.mu.Unlock()
-
-	defer func() {
-		s.mu.Lock()
-		s.waiting--
-		s.metrics.queueDepth.Store(int64(s.waiting))
-		s.mu.Unlock()
-	}()
-	select {
-	case s.slots <- struct{}{}:
-		return true
-	case <-r.Context().Done():
-		// The client gave up while queued; nothing useful to write.
-		return false
-	}
+	return j
 }
 
-// resultLine is one streamed NDJSON record: a per-point result (Run set,
-// Error empty), a per-point failure (Error set), or — with Done — the
-// job's final summary carrying the rendered table.
+// retryAfter draws a jittered Retry-After value around sec.
+func (s *Server) retryAfter(sec int) string {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return strconv.Itoa(jitterRetryAfter(sec, s.rng))
+}
+
+// authTenant resolves the request's tenant. With a tenant table
+// configured it requires a known API key and answers 401 itself on
+// failure; otherwise every request is the anonymous tenant.
+func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) (*tenant, bool) {
+	if s.anon != nil {
+		return s.anon, true
+	}
+	if tn, ok := s.byKey[apiKey(r)]; ok {
+		return tn, true
+	}
+	s.metrics.jobsUnauthorized.Add(1)
+	w.Header().Set("WWW-Authenticate", `Bearer realm="mlcserve"`)
+	http.Error(w, "missing or unknown api key", http.StatusUnauthorized)
+	return nil, false
+}
+
+// resultLine is one streamed record: a per-point result (Run set, Error
+// empty), a per-point failure (Error set), or — with Done — the job's
+// final summary carrying the rendered table.
 type resultLine struct {
 	Index   int         `json:"index"`
 	L2KB    int64       `json:"l2_kb"`
@@ -240,6 +401,7 @@ type startLine struct {
 	ArenaHit     bool   `json:"arena_hit"`
 	TraceSkipped int64  `json:"trace_skipped,omitempty"`
 	Workload     string `json:"workload"`
+	Tenant       string `json:"tenant,omitempty"`
 }
 
 // doneLine closes the stream. Table is the full sweep.WriteTable
@@ -254,8 +416,55 @@ type doneLine struct {
 	Table     string  `json:"table"`
 }
 
-// handleJobs runs one sweep job end to end: admission, workload lease,
-// result-cache probe, simulation with streaming, final table.
+// streamSink abstracts where a job's records go: an NDJSON stream, an SSE
+// stream, or nowhere (background resume).
+type streamSink interface {
+	// send emits one record; event names the record kind for framings
+	// that carry it (SSE).
+	send(event string, v any)
+}
+
+// ndjsonSink writes one JSON object per line, flushing each so clients
+// see points as they complete. A write error means the client vanished;
+// the request context cancels the grid, so errors are ignored here.
+type ndjsonSink struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+}
+
+func (s ndjsonSink) send(_ string, v any) {
+	_ = s.enc.Encode(v)
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}
+
+// sseSink frames the same records as Server-Sent Events (text/event-stream)
+// with event types start/result/done, so browsers can consume the job via
+// EventSource without a streaming-fetch polyfill.
+type sseSink struct {
+	w       io.Writer
+	flusher http.Flusher
+}
+
+func (s sseSink) send(event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, b)
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+}
+
+// nopSink discards the stream (resumed jobs have no client).
+type nopSink struct{}
+
+func (nopSink) send(string, any) {}
+
+// handleJobs runs one sweep job end to end: identity, quota, fair-queue
+// admission, journaling, then the shared runJob core.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -264,6 +473,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Draining() {
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	tn, ok := s.authTenant(w, r)
+	if !ok {
 		return
 	}
 	var spec coord.JobSpec
@@ -275,48 +488,108 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The tenant label is the server's to assign; a client cannot claim
+	// another tenant's name.
+	spec.Tenant = tn.name
 	asCSV := false
 	if v := r.URL.Query().Get("csv"); v != "" && v != "0" && v != "false" {
 		asCSV = true
 	}
-	if !s.acquireSlot(w, r) {
+	asSSE := strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
+		r.URL.Query().Get("sse") == "1"
+
+	// Per-tenant token-bucket admission: a tenant above its rate is told
+	// when its next token accrues, ±20% so a burst of rejected clients
+	// doesn't resynchronize.
+	if ok, wait := tn.bucket.take(time.Now()); !ok {
+		s.metrics.jobsRejectedQuota.Add(1)
+		tn.m.rejectedQuota.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter(int(math.Ceil(wait.Seconds()))))
+		http.Error(w, "tenant job quota exceeded", http.StatusTooManyRequests)
 		return
 	}
-	defer func() { <-s.slots }()
+
+	// Weighted fair admission to a run slot.
+	admitStart := time.Now()
+	ok, full := s.queue.acquire(r.Context().Done(), tn)
+	if full {
+		s.metrics.jobsRejected.Add(1)
+		tn.m.rejectedQueue.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter(s.retryAfterSeconds()))
+		http.Error(w, "job queue full", http.StatusTooManyRequests)
+		return
+	}
+	if !ok {
+		// The client gave up while queued; nothing useful to write.
+		return
+	}
+	defer s.queue.release()
+	tn.m.admitSeconds.observe(time.Since(admitStart).Seconds())
 
 	s.mu.Lock()
 	s.jobSeq++
 	jobID := s.jobSeq
 	s.mu.Unlock()
+	s.journalJob(jobID, spec, statusRunning)
+
+	var sink streamSink
+	flusher, _ := w.(http.Flusher)
+	if asSSE {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+		sink = sseSink{w: w, flusher: flusher}
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink = ndjsonSink{enc: json.NewEncoder(w), flusher: flusher}
+	}
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	status := s.runJob(r.Context(), jobID, spec, tn, sink, asCSV, func(err error) {
+		http.Error(w, fmt.Sprintf("workload: %v", err), http.StatusBadRequest)
+	})
+	s.journalJob(jobID, spec, status)
+}
+
+// journalJob records a job-state transition; journal trouble degrades
+// durability, not availability, so it is logged rather than failed.
+func (s *Server) journalJob(jobID int64, spec coord.JobSpec, status string) {
+	if s.durable == nil {
+		return
+	}
+	if err := s.durable.appendJob(jobKey(jobID), jobRecord{Spec: spec, Status: status}); err != nil {
+		s.logf("journal job %d: %v", jobID, err)
+	}
+}
+
+// runJob executes one admitted job: workload lease, result-cache probe,
+// simulation with journaling and streaming, final table. onError reports
+// a failure to build the workload before anything was streamed. The
+// returned status is the job's terminal journal state.
+func (s *Server) runJob(ctx context.Context, jobID int64, spec coord.JobSpec, tn *tenant,
+	sink streamSink, asCSV bool, onError func(error)) string {
 	s.metrics.jobsTotal.Add(1)
+	tn.m.jobs.Add(1)
 	s.metrics.jobsActive.Add(1)
 	defer s.metrics.jobsActive.Add(-1)
 	start := time.Now()
 
 	wl, arenaHit, err := s.arenas.Acquire(spec)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("workload: %v", err), http.StatusBadRequest)
-		return
+		onError(err)
+		return statusFailed
 	}
 	defer wl.Release()
 	pts := spec.Points()
-	s.logf("job %d: %d points, workload %s (arena hit=%t)", jobID, len(pts), wl.Key(), arenaHit)
+	s.logf("job %d (tenant %s): %d points, workload %s (arena hit=%t)",
+		jobID, tn.name, len(pts), wl.Key(), arenaHit)
 
-	flusher, _ := w.(http.Flusher)
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Accel-Buffering", "no")
-	enc := json.NewEncoder(w)
-	emit := func(v any) {
-		// A write error means the client vanished; the request context
-		// cancels the grid, so there is nothing to handle here.
-		_ = enc.Encode(v)
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-	emit(startLine{Job: jobID, Points: len(pts), ArenaHit: arenaHit, TraceSkipped: wl.Skipped(), Workload: wl.Key()})
+	sink.send("start", startLine{
+		Job: jobID, Points: len(pts), ArenaHit: arenaHit,
+		TraceSkipped: wl.Skipped(), Workload: wl.Key(), Tenant: tn.name,
+	})
 
-	// Probe the result cache and stream every known point immediately.
+	// Probe the result cache — warm from this process's jobs or replayed
+	// from the journal — and stream every known point immediately.
 	base := resultKeyBase(wl.Key(), spec)
 	cached := make(map[sweep.Point]cpu.Result)
 	index := make(map[sweep.Point]int, len(pts))
@@ -328,10 +601,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			line.Cached = true
 			run := run
 			line.Run = &run
-			emit(line)
+			sink.send("result", line)
 		}
 	}
 	s.metrics.pointsCached.Add(int64(len(cached)))
+	tn.m.pointsCached.Add(int64(len(cached)))
 
 	runner := spec.RunnerFor(wl.Arena())
 	runner.Pool = s.pool
@@ -345,23 +619,32 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		},
 		// OnResult calls are serialized by the engine, and they are the
 		// only writer between the cached prefix above and the summary
-		// below, so emit needs no extra locking.
+		// below, so sink needs no extra locking. The journal append comes
+		// first: a point is durable before any client can have seen it.
 		OnResult: func(res sweep.Result) {
-			s.results.put(base, res.Point, res.Run)
+			key := pointKey(base, res.Point)
+			if s.durable != nil {
+				if err := s.durable.appendResult(key, res.Run, s.results.has); err != nil {
+					s.logf("journal point %s: %v", key, err)
+				}
+			}
+			s.results.putKey(key, res.Run)
 			s.metrics.pointsTotal.Add(1)
+			tn.m.points.Add(1)
 			s.metrics.refsTotal.Add(arenaRefs)
 			line := lineFor(index[res.Point], res.Point)
 			run := res.Run
 			line.Run = &run
-			emit(line)
+			sink.send("result", line)
 		},
 	}
-	results, runErr := runner.RunContext(r.Context(), pts, opts)
+	results, runErr := runner.RunContext(ctx, pts, opts)
 	if runErr != nil {
-		// Client disconnected (the only way the request context dies).
+		// Client disconnected (the only way the job context dies).
 		s.metrics.jobsCanceled.Add(1)
+		tn.m.canceled.Add(1)
 		s.logf("job %d: canceled after %v", jobID, time.Since(start).Round(time.Millisecond))
-		return
+		return statusCanceled
 	}
 
 	// Fill cache-served points into the full result set and surface
@@ -378,18 +661,18 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			s.metrics.pointsFailed.Add(1)
 			line := lineFor(i, results[i].Point)
 			line.Error = results[i].Err.Error()
-			emit(line)
+			sink.send("result", line)
 		}
 	}
 
 	var table bytes.Buffer
 	if err := sweep.WriteTable(&table, results, experiments.CPUCycleNS, asCSV); err != nil {
 		s.logf("job %d: render: %v", jobID, err)
-		return
+		return statusFailed
 	}
 	elapsed := time.Since(start)
 	s.metrics.jobSeconds.observe(elapsed.Seconds())
-	emit(doneLine{
+	sink.send("done", doneLine{
 		Done:      true,
 		Job:       jobID,
 		Points:    len(pts),
@@ -399,4 +682,5 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		Table:     table.String(),
 	})
 	s.logf("job %d: done in %v (%d cached, %d failed)", jobID, elapsed.Round(time.Millisecond), len(cached), failed)
+	return statusDone
 }

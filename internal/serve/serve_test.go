@@ -19,6 +19,16 @@ import (
 	"mlcache/internal/sweep"
 )
 
+// newTestServer builds a Server or fails the test.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // gridSpec is a small 2x2 grid over a short synthetic workload: fast
 // enough for -race, big enough to exercise the streaming path.
 func gridSpec() coord.JobSpec {
@@ -126,7 +136,7 @@ func TestJobStreamMatchesCLI(t *testing.T) {
 	spec := gridSpec()
 	want := referenceTable(t, spec, false)
 
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -209,7 +219,7 @@ func TestJobCSV(t *testing.T) {
 	spec := gridSpec()
 	want := referenceTable(t, spec, true)
 
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -229,7 +239,7 @@ func TestConcurrentJobsShareArena(t *testing.T) {
 	spec := gridSpec()
 	want := referenceTable(t, spec, false)
 
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -257,19 +267,29 @@ func TestConcurrentJobsShareArena(t *testing.T) {
 	}
 }
 
-// TestBackpressure429: with every slot busy and the wait queue full, a new
-// job is refused with 429 and a Retry-After hint rather than queued
-// unboundedly; it is admitted again once capacity frees up.
+// TestBackpressure429: with every slot busy and the tenant's queue share
+// full, a new job is refused with 429 and a Retry-After hint rather than
+// queued unboundedly; it is admitted again once capacity frees up.
 func TestBackpressure429(t *testing.T) {
-	s := New(Config{MaxJobs: 1, MaxQueue: 1})
+	s := newTestServer(t, Config{MaxJobs: 1, MaxQueue: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	// Occupy the only run slot and fill the wait queue.
-	s.slots <- struct{}{}
-	s.mu.Lock()
-	s.waiting = s.cfg.maxQueue()
-	s.mu.Unlock()
+	// Occupy the only run slot and fill the anonymous tenant's queue
+	// share (one waiter that never cancels).
+	if ok, _ := s.queue.acquire(nil, s.anon); !ok {
+		t.Fatal("could not take the run slot")
+	}
+	waiterDone := make(chan struct{})
+	go func() {
+		if ok, _ := s.queue.acquire(nil, s.anon); ok {
+			defer s.queue.release()
+		}
+		close(waiterDone)
+	}()
+	for s.queue.queueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
 
 	body, _ := json.Marshal(gridSpec())
 	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
@@ -288,15 +308,11 @@ func TestBackpressure429(t *testing.T) {
 		t.Errorf("jobsRejected = %d", s.metrics.jobsRejected.Load())
 	}
 
-	// A queued submission proceeds once the slot frees.
-	s.mu.Lock()
-	s.waiting = 0
-	s.mu.Unlock()
-	done := make(chan jobStream, 1)
-	go func() { done <- postJob(t, ts.Client(), ts.URL+"/jobs", gridSpec()) }()
-	time.Sleep(50 * time.Millisecond)
-	<-s.slots // release the slot we occupied
-	js := <-done
+	// Freeing the slot drains the queued waiter; a fresh submission then
+	// proceeds end to end.
+	s.queue.release()
+	<-waiterDone
+	js := postJob(t, ts.Client(), ts.URL+"/jobs", gridSpec())
 	if js.status != http.StatusOK || !js.gotDone {
 		t.Fatalf("queued job: status=%d done=%t", js.status, js.gotDone)
 	}
@@ -306,7 +322,7 @@ func TestBackpressure429(t *testing.T) {
 // the job's context; the server records the cancellation and frees the
 // slot instead of simulating for a vanished client.
 func TestClientDisconnectCancelsJob(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -357,7 +373,7 @@ func TestDrainRejectsNewFinishesInFlight(t *testing.T) {
 	spec := gridSpec()
 	want := referenceTable(t, spec, false)
 
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -413,7 +429,7 @@ func TestDrainRejectsNewFinishesInFlight(t *testing.T) {
 // TestJobValidation: malformed and invalid specs are rejected before any
 // slot or workload is touched.
 func TestJobValidation(t *testing.T) {
-	s := New(Config{})
+	s := newTestServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTenants(t *testing.T, cfgs ...TenantConfig) *Tenants {
+	t.Helper()
+	tns, err := ParseTenants(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tns
+}
+
+func TestParseTenantsRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfgs []TenantConfig
+	}{
+		{"empty list", nil},
+		{"empty name", []TenantConfig{{Key: "k"}}},
+		{"empty key", []TenantConfig{{Name: "a"}}},
+		{"negative weight", []TenantConfig{{Name: "a", Key: "k", Weight: -1}}},
+		{"negative rate", []TenantConfig{{Name: "a", Key: "k", RatePerSec: -1}}},
+		{"negative burst", []TenantConfig{{Name: "a", Key: "k", Burst: -1}}},
+		{"duplicate name", []TenantConfig{{Name: "a", Key: "k1"}, {Name: "a", Key: "k2"}}},
+		{"duplicate key", []TenantConfig{{Name: "a", Key: "k"}, {Name: "b", Key: "k"}}},
+	}
+	for _, tc := range cases {
+		if _, err := ParseTenants(tc.cfgs); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newTokenBucket(2, 3) // 2 tokens/sec, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, wait := b.take(now)
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Fatalf("wait = %v, want (0, 500ms] at 2 tokens/sec", wait)
+	}
+
+	// Half a second refills one token; it admits exactly one more job.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := b.take(now); ok {
+		t.Fatal("second take after single refill admitted")
+	}
+
+	// A long idle stretch caps at burst, not unbounded credit.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.take(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("after long idle admitted %d, want burst 3", admitted)
+	}
+
+	// Unlimited bucket never refuses.
+	u := newTokenBucket(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := u.take(now); !ok {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+}
+
+func TestJitterRetryAfterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sec := range []int{1, 5, 30, 120} {
+		lo := int(0.8*float64(sec)) - 1 // rounding slack
+		hi := int(1.2*float64(sec)) + 1
+		seen := map[int]bool{}
+		for i := 0; i < 2000; i++ {
+			j := jitterRetryAfter(sec, rng)
+			if j < 1 || j < lo || j > hi {
+				t.Fatalf("jitter(%d) = %d outside [max(1,%d), %d]", sec, j, lo, hi)
+			}
+			seen[j] = true
+		}
+		if sec >= 5 && len(seen) < 2 {
+			t.Errorf("jitter(%d) never varied", sec)
+		}
+	}
+	// Degenerate inputs still yield a usable Retry-After.
+	for i := 0; i < 100; i++ {
+		if j := jitterRetryAfter(0, rng); j < 1 {
+			t.Fatalf("jitter(0) = %d, want >= 1", j)
+		}
+	}
+}
+
+// TestFairQueueStrideOrder drives the scheduler directly: with one slot
+// held and a weight-1 and weight-2 tenant each queueing four jobs, grants
+// must interleave in stride order (two light grants per heavy grant while
+// both are backlogged) rather than FIFO.
+func TestFairQueueStrideOrder(t *testing.T) {
+	q := newFairQueue(1, 16, nil)
+	holder := newTenant(TenantConfig{Name: "zz-holder"})
+	heavy := newTenant(TenantConfig{Name: "heavy", Weight: 1})
+	light := newTenant(TenantConfig{Name: "light", Weight: 2})
+	if ok, _ := q.acquire(nil, holder); !ok {
+		t.Fatal("holder not granted the free slot")
+	}
+
+	var (
+		mu    sync.Mutex
+		order []string
+		wg    sync.WaitGroup
+	)
+	for _, tn := range []*tenant{heavy, light} {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(tn *tenant) {
+				defer wg.Done()
+				if ok, _ := q.acquire(nil, tn); !ok {
+					t.Error("waiter refused")
+					return
+				}
+				mu.Lock()
+				order = append(order, tn.name)
+				mu.Unlock()
+				q.release()
+			}(tn)
+		}
+	}
+	waitFor(t, "all waiters queued", func() bool { return q.queueDepth() == 8 })
+	q.release() // holder hands the slot into the backlog
+	wg.Wait()
+
+	// Ties at equal pass break by name (heavy < light), then light's
+	// half stride earns it two grants per heavy one.
+	want := []string{"heavy", "light", "light", "heavy", "light", "light", "heavy", "heavy"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("grant order %v, want %v", order, want)
+	}
+}
+
+// TestFairQueuePerTenantCap: the queue bound applies per tenant, so one
+// tenant's flood fills only its own share and another tenant still gets
+// in.
+func TestFairQueuePerTenantCap(t *testing.T) {
+	q := newFairQueue(1, 2, nil)
+	flood := newTenant(TenantConfig{Name: "flood"})
+	calm := newTenant(TenantConfig{Name: "calm"})
+	if ok, _ := q.acquire(nil, flood); !ok {
+		t.Fatal("slot not granted")
+	}
+	for i := 0; i < 2; i++ {
+		go func() {
+			if ok, _ := q.acquire(nil, flood); ok {
+				q.release()
+			}
+		}()
+	}
+	waitFor(t, "flood fills its share", func() bool { return q.queueDepth() == 2 })
+	if ok, full := q.acquire(nil, flood); ok || !full {
+		t.Fatalf("flood's third waiter: ok=%t full=%t, want refused full", ok, full)
+	}
+	done := make(chan struct{})
+	go func() {
+		if ok, full := q.acquire(nil, calm); !ok || full {
+			t.Errorf("calm tenant refused: ok=%t full=%t", ok, full)
+		} else {
+			q.release()
+		}
+		close(done)
+	}()
+	waitFor(t, "calm queued", func() bool { return q.queueDepth() == 3 })
+	q.release()
+	<-done
+}
+
+func authedJob(t *testing.T, client *http.Client, url, key string, spec interface{}, hdr map[string]string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestAPIKeyAuth(t *testing.T) {
+	tns := testTenants(t, TenantConfig{Name: "alice", Key: "ak_alice"})
+	s := newTestServer(t, Config{Tenants: tns})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	spec := gridSpec()
+
+	for _, tc := range []struct {
+		name string
+		key  string
+		hdr  map[string]string
+		want int
+	}{
+		{"no key", "", nil, http.StatusUnauthorized},
+		{"wrong key", "ak_mallory", nil, http.StatusUnauthorized},
+		{"bearer key", "ak_alice", nil, http.StatusOK},
+		{"x-api-key", "", map[string]string{"X-API-Key": "ak_alice"}, http.StatusOK},
+	} {
+		resp := authedJob(t, ts.Client(), ts.URL+"/jobs", tc.key, spec, tc.hdr)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		if tc.want == http.StatusUnauthorized && resp.Header.Get("WWW-Authenticate") == "" {
+			t.Errorf("%s: missing WWW-Authenticate challenge", tc.name)
+		}
+		if tc.want == http.StatusOK {
+			js := parseStream(t, resp)
+			if js.start.Tenant != "alice" {
+				t.Errorf("%s: start line tenant %q, want alice", tc.name, js.start.Tenant)
+			}
+		}
+		resp.Body.Close()
+	}
+	if got := s.metrics.jobsUnauthorized.Load(); got != 2 {
+		t.Errorf("jobsUnauthorized = %d, want 2", got)
+	}
+}
+
+func TestTenantQuota429(t *testing.T) {
+	tns := testTenants(t, TenantConfig{Name: "alice", Key: "ak_alice", RatePerSec: 0.001, Burst: 1})
+	s := newTestServer(t, Config{Tenants: tns})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	spec := gridSpec()
+
+	resp := authedJob(t, ts.Client(), ts.URL+"/jobs", "ak_alice", spec, nil)
+	if js := parseStream(t, resp); js.status != http.StatusOK || !js.gotDone {
+		t.Fatalf("job within burst: status=%d done=%t", js.status, js.gotDone)
+	}
+	resp.Body.Close()
+
+	resp = authedJob(t, ts.Client(), ts.URL+"/jobs", "ak_alice", spec, nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job beyond burst: status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("bad Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// ~1000s until the next token, jittered ±20%.
+	if ra < 799 || ra > 1201 {
+		t.Errorf("Retry-After = %d, want ~1000 ±20%%", ra)
+	}
+	if got := s.metrics.jobsRejectedQuota.Load(); got != 1 {
+		t.Errorf("jobsRejectedQuota = %d, want 1", got)
+	}
+	if got := s.byName["alice"].m.rejectedQuota.Load(); got != 1 {
+		t.Errorf("tenant rejectedQuota = %d, want 1", got)
+	}
+}
+
+// TestTwoTenantFairnessHTTP is the starvation acceptance check: with one
+// run slot busy and a heavy tenant flooding three more jobs into the
+// queue, a light tenant's single job submitted last must still be granted
+// first — the flood delays only the flooder.
+func TestTwoTenantFairnessHTTP(t *testing.T) {
+	tns := testTenants(t,
+		TenantConfig{Name: "heavy", Key: "ak_heavy"},
+		TenantConfig{Name: "light", Key: "ak_light"},
+	)
+	s := newTestServer(t, Config{MaxJobs: 1, MaxQueue: 8, Tenants: tns})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	spec := gridSpec()
+
+	// Occupy the only run slot as the heavy tenant, charging its stride.
+	if ok, _ := s.queue.acquire(nil, s.byName["heavy"]); !ok {
+		t.Fatal("could not occupy the run slot")
+	}
+
+	type admission struct {
+		name string
+		job  int64
+	}
+	var (
+		mu      sync.Mutex
+		entries []admission
+		wg      sync.WaitGroup
+	)
+	// Admission order is read off the server-assigned job ID in each
+	// stream's start line: IDs are allocated in grant order, so sorting by
+	// ID recovers the schedule no matter how client goroutines interleave.
+	submit := func(name, key string) {
+		defer wg.Done()
+		resp := authedJob(t, ts.Client(), ts.URL+"/jobs", key, spec, nil)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s job: status %d", name, resp.StatusCode)
+			return
+		}
+		br := bufio.NewReader(resp.Body)
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Errorf("%s job: reading start line: %v", name, err)
+			return
+		}
+		var start startLine
+		if err := json.Unmarshal(line, &start); err != nil {
+			t.Errorf("%s job: bad start line %q: %v", name, line, err)
+			return
+		}
+		mu.Lock()
+		entries = append(entries, admission{name: name, job: start.Job})
+		mu.Unlock()
+		io.Copy(io.Discard, br)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go submit("heavy", "ak_heavy")
+	}
+	waitFor(t, "heavy flood queued", func() bool { return s.queue.queueDepth() == 3 })
+	wg.Add(1)
+	go submit("light", "ak_light")
+	waitFor(t, "light job queued", func() bool { return s.queue.queueDepth() == 4 })
+
+	s.queue.release() // the busy slot frees; scheduling takes over
+	wg.Wait()
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].job < entries[j].job })
+	var order []string
+	for _, e := range entries {
+		order = append(order, e.name)
+	}
+	if len(order) != 4 || order[0] != "light" {
+		t.Fatalf("admission order %v, want light first despite submitting last", order)
+	}
+	if jobs := s.byName["light"].m.jobs.Load(); jobs != 1 {
+		t.Errorf("light tenant jobs = %d, want 1", jobs)
+	}
+	if jobs := s.byName["heavy"].m.jobs.Load(); jobs != 3 {
+		t.Errorf("heavy tenant jobs = %d, want 3", jobs)
+	}
+
+	// The flood shows up as per-tenant series on /metrics.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`mlcserve_tenant_jobs_total{tenant="heavy"} 3`,
+		`mlcserve_tenant_jobs_total{tenant="light"} 1`,
+		`mlcserve_tenant_admission_wait_seconds_count{tenant="light"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// sseEvent is one parsed text/event-stream frame.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+func parseSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []sseEvent
+	for _, frame := range strings.Split(string(raw), "\n\n") {
+		if strings.TrimSpace(frame) == "" {
+			continue
+		}
+		var ev sseEvent
+		for _, line := range strings.Split(frame, "\n") {
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				ev.event = v
+			} else if v, ok := strings.CutPrefix(line, "data: "); ok {
+				ev.data = v
+			}
+		}
+		if ev.event == "" || ev.data == "" {
+			t.Fatalf("malformed SSE frame %q", frame)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func TestSSEStream(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	spec := gridSpec()
+	want := referenceTable(t, spec, false)
+	npts := len(spec.Points())
+
+	resp := authedJob(t, ts.Client(), ts.URL+"/jobs", "", spec,
+		map[string]string{"Accept": "text/event-stream"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	evs := parseSSE(t, resp.Body)
+	if len(evs) != npts+2 {
+		t.Fatalf("got %d SSE events, want start + %d results + done", len(evs), npts)
+	}
+	if evs[0].event != "start" || evs[len(evs)-1].event != "done" {
+		t.Fatalf("frame events %q ... %q, want start ... done", evs[0].event, evs[len(evs)-1].event)
+	}
+	for _, ev := range evs[1 : len(evs)-1] {
+		if ev.event != "result" {
+			t.Fatalf("mid-stream event %q, want result", ev.event)
+		}
+		var rl resultLine
+		if err := json.Unmarshal([]byte(ev.data), &rl); err != nil {
+			t.Fatalf("bad result data %q: %v", ev.data, err)
+		}
+		if rl.Run == nil {
+			t.Fatalf("result %d missing run payload", rl.Index)
+		}
+	}
+	var done doneLine
+	if err := json.Unmarshal([]byte(evs[len(evs)-1].data), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Table != want {
+		t.Error("SSE table differs from NDJSON/CLI reference")
+	}
+
+	// The ?sse=1 query form works without an Accept header.
+	resp2 := authedJob(t, ts.Client(), ts.URL+"/jobs?sse=1", "", spec, nil)
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("?sse=1 Content-Type %q", ct)
+	}
+	evs2 := parseSSE(t, resp2.Body)
+	if len(evs2) != npts+2 {
+		t.Fatalf("?sse=1: %d events, want %d", len(evs2), npts+2)
+	}
+}
