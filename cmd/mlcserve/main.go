@@ -41,6 +41,7 @@ import (
 
 	"mlcache/internal/prof"
 	"mlcache/internal/serve"
+	"mlcache/internal/sweep"
 )
 
 // options collects every flag value so validation is testable apart from
@@ -54,6 +55,7 @@ type options struct {
 	tenantsPath  string
 	anonRate     float64
 	anonBurst    int
+	plan         string
 }
 
 // validate rejects unusable flag combinations up front — an unwritable
@@ -75,6 +77,9 @@ func validate(o options) (*serve.Tenants, error) {
 	}
 	if o.anonBurst < 0 {
 		return nil, fmt.Errorf("-tenant-burst must be non-negative, got %d", o.anonBurst)
+	}
+	if _, err := sweep.ParsePlanMode(o.plan); err != nil {
+		return nil, fmt.Errorf("-plan: %v", err)
 	}
 	if o.stateDir != "" {
 		if o.journalMaxMB <= 0 {
@@ -115,6 +120,7 @@ func main() {
 		tenantsPath  = flag.String("tenants-config", "", "JSON tenant table turning on API-key auth, quotas, and fair scheduling")
 		anonRate     = flag.Float64("tenant-rate", 0, "anonymous-tenant admission rate in jobs/sec without -tenants-config (0 = unlimited)")
 		anonBurst    = flag.Int("tenant-burst", 0, "anonymous-tenant admission burst (0 = rate-derived)")
+		plan         = flag.String("plan", "full", "default grid evaluation plan for jobs that do not name one (full or onepass)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -126,6 +132,7 @@ func main() {
 		jobs: *jobs, queue: *queue, arenaBudget: *arenaBudget,
 		stateDir: *stateDir, journalMaxMB: *journalMax,
 		tenantsPath: *tenantsPath, anonRate: *anonRate, anonBurst: *anonBurst,
+		plan: *plan,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
@@ -150,6 +157,7 @@ func main() {
 		Tenants:           tenants,
 		AnonRatePerSec:    *anonRate,
 		AnonBurst:         *anonBurst,
+		DefaultPlan:       *plan,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

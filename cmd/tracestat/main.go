@@ -41,6 +41,7 @@ func main() {
 		alpha     = flag.Float64("alpha", 0, "override: Pareto tail exponent")
 		doClass   = flag.Bool("classify", false, "decompose probe-cache misses into compulsory/capacity/conflict")
 		doProfile = flag.Bool("profile", false, "one-pass LRU stack-distance profile instead of probe caches")
+		csv       = flag.Bool("csv", false, "with -profile: dump the stack-distance histogram as CSV (distance, count, cumulative miss ratio)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,8 @@ func main() {
 	s = trace.Limit(s, *n)
 
 	switch {
+	case *doProfile && *csv:
+		runProfileCSV(s, *block)
 	case *doProfile:
 		runProfile(s, *block, *minKB, *maxKB)
 	case *doClass:
@@ -178,6 +181,35 @@ func runProfile(s trace.Stream, block int, minKB, maxKB int64) {
 		fmt.Printf("%-10s %12d %10.5f\n", fmt.Sprintf("%dKB", sz/1024),
 			prof.MissesAtCapacity(sz/int64(block)), ratios[i])
 	}
+}
+
+// runProfileCSV dumps the raw stack-distance histogram for offline
+// analysis: one row per nonzero distance bin with its reference count and
+// the cumulative miss ratio — the fraction of references that would miss
+// a fully-associative LRU cache holding `distance` blocks. Distances
+// beyond the exact-tracking window report their log2 bucket's upper
+// bound, so the cumulative column stays a valid (conservative) miss
+// curve. Cold (compulsory) references have no finite distance; they get
+// a final "cold" row with their count and an empty ratio column.
+func runProfileCSV(s trace.Stream, block int) {
+	prof := stackdist.MustNew(block)
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Kind.IsRead() {
+			prof.Access(r.Addr)
+		}
+	}
+	fmt.Println("distance,count,cum_miss_ratio")
+	for _, b := range prof.Histogram() {
+		fmt.Printf("%d,%d,%.6f\n", b.Hi, b.Count, prof.MissRatioAtCapacity(b.Hi))
+	}
+	fmt.Printf("cold,%d,\n", prof.Cold())
 }
 
 // runClassify decomposes each probe cache's misses into the three Cs.

@@ -30,6 +30,13 @@ type Config struct {
 	// error. The sweep engine points it at ctx.Err so cancellation and
 	// per-point timeouts reach the hot loop without a wrapping stream.
 	Interrupt func() error
+	// OnRecordingStart, when non-nil, fires the moment statistics
+	// recording turns on after the warm-up prefix, with the simulated time
+	// at which measurement begins. It does NOT fire when WarmupRefs is
+	// zero (recording is on from time 0 and there is no flip). The
+	// one-pass planner uses it to align captured boundary logs with the
+	// measurement window.
+	OnRecordingStart func(nowNS int64)
 }
 
 // Validate checks the configuration.
@@ -322,6 +329,9 @@ func Run(h *memsys.Hierarchy, s trace.Stream, cfg Config) (Result, error) {
 			recording = true
 			h.SetRecording(true)
 			startNS = now
+			if cfg.OnRecordingStart != nil {
+				cfg.OnRecordingStart(now)
+			}
 		}
 
 		if cfg.FlushOnSwitch {

@@ -258,6 +258,10 @@ type Hierarchy struct {
 	checks  bool
 	invErr  error
 	lastNow int64
+
+	// tap, when non-nil, records the first-level boundary stream for
+	// one-pass grid evaluation (see onepass.go).
+	tap *DownRecorder
 }
 
 // New constructs a hierarchy from a validated configuration.
@@ -378,6 +382,7 @@ func (h *Hierarchy) Reset() {
 	h.memBuf.Reset()
 	h.invErr = nil
 	h.lastNow = 0
+	h.tap = nil
 	h.SetRecording(true)
 }
 
@@ -442,6 +447,7 @@ func (h *Hierarchy) ResetFor(cfg Config) bool {
 	h.checks = cfg.CheckInvariants
 	h.invErr = nil
 	h.lastNow = 0
+	h.tap = nil
 	h.SetRecording(true)
 	return true
 }
@@ -510,10 +516,16 @@ func (h *Hierarchy) Access(r trace.Ref, now int64) int64 {
 func (h *Hierarchy) access(r trace.Ref, now int64) int64 {
 	now = h.translate(r.Addr, now)
 	fl := h.route(r.Kind)
+	var done int64
 	if r.Kind == trace.Store {
-		return h.accessStore(fl, r.Addr, now)
+		done = h.accessStore(fl, r.Addr, now)
+	} else {
+		done = h.accessRead(fl, r.Addr, now)
 	}
-	return h.accessRead(fl, r.Addr, now)
+	if h.tap != nil {
+		h.tap.commit(now, done)
+	}
+	return done
 }
 
 func (h *Hierarchy) accessRead(fl *firstLevel, addr uint64, now int64) int64 {
@@ -526,7 +538,11 @@ func (h *Hierarchy) accessRead(fl *firstLevel, addr uint64, now int64) int64 {
 	if res.Hit {
 		return now + extra
 	}
-	done := h.fetchBlock(0, addr, now+extra, originRead, fl.fetchRegion(res))
+	region := fl.fetchRegion(res)
+	if h.tap != nil {
+		h.tap.pend(evFetch, addr, res.VictimAddr, res.Writeback, region)
+	}
+	done := h.fetchBlock(0, addr, now+extra, originRead, region)
 	if res.Writeback {
 		done = maxI64(done, h.pushVictim(0, res.VictimAddr, now))
 	}
@@ -580,6 +596,16 @@ func (h *Hierarchy) accessStore(fl *firstLevel, addr uint64, now int64) int64 {
 	writeExtra := fl.cfg.WriteNS() - h.cfg.CPUCycleNS
 	if writeExtra < 0 {
 		writeExtra = 0
+	}
+	if h.tap != nil && (res.Fill || res.WriteDown || res.Writeback) {
+		flags := evStoreAcc
+		if res.Fill {
+			flags |= evFetch
+		}
+		if res.WriteDown {
+			flags |= evWriteDown
+		}
+		h.tap.pend(flags, addr, res.VictimAddr, res.Writeback, fl.fetchRegion(res))
 	}
 	done := now
 	if res.Fill {

@@ -1,0 +1,226 @@
+package memsys_test
+
+// Capture/replay equivalence: for every downstream variant sharing the
+// pivot's first level, replaying the captured boundary log must reproduce
+// the execution time and every downstream counter of a full end-to-end
+// simulation of that variant. This is the property the one-pass sweep
+// planner rests on.
+
+import (
+	"reflect"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/cpu"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+func onepassBase() memsys.Config {
+	l1 := func(name string) memsys.LevelConfig {
+		return memsys.LevelConfig{
+			Cache: cache.Config{
+				Name: name, SizeBytes: 2 * 1024, BlockBytes: 16, Assoc: 1,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			},
+			CycleNS: 10,
+		}
+	}
+	return memsys.Config{
+		CPUCycleNS: 10,
+		SplitL1:    true,
+		L1I:        l1("L1I"),
+		L1D:        l1("L1D"),
+		Down: []memsys.LevelConfig{{
+			Cache: cache.Config{
+				Name: "L2", SizeBytes: 64 * 1024, BlockBytes: 32, Assoc: 1,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			},
+			CycleNS: 30,
+		}},
+		Memory: mainmem.Base(),
+	}
+}
+
+func onepassArena(t *testing.T, n int64) *trace.Arena {
+	t.Helper()
+	a, err := trace.Materialize(synth.PaperStream(5, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// capture runs the pivot configuration end to end with a tap attached and
+// returns the boundary log plus the pivot result.
+func capture(t *testing.T, cfg memsys.Config, a *trace.Arena, warmup int64) (*memsys.DownLog, cpu.Result) {
+	t.Helper()
+	h := memsys.MustNew(cfg)
+	rec := memsys.NewDownRecorder()
+	h.SetTap(rec)
+	ccfg := cpu.Config{CycleNS: cfg.CPUCycleNS, WarmupRefs: warmup, OnRecordingStart: rec.MarkRecordingStart}
+	if warmup == 0 {
+		rec.MarkRecordingStart(0)
+	}
+	res, err := cpu.Run(h, a.Cursor(), ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetTap(nil)
+	return rec.Finish(res.TimeNS), res
+}
+
+func runFull(t *testing.T, cfg memsys.Config, a *trace.Arena, warmup int64) cpu.Result {
+	t.Helper()
+	res, err := cpu.Run(memsys.MustNew(cfg), a.Cursor(), cpu.Config{CycleNS: cfg.CPUCycleNS, WarmupRefs: warmup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// checkReplay replays log on cfg and compares against a full simulation.
+func checkReplay(t *testing.T, name string, cfg memsys.Config, a *trace.Arena, warmup int64, log *memsys.DownLog) {
+	t.Helper()
+	full := runFull(t, cfg, a, warmup)
+	h := memsys.MustNew(cfg)
+	gotNS, err := h.ReplayDown(log, nil)
+	if err != nil {
+		t.Fatalf("%s: replay: %v", name, err)
+	}
+	if gotNS != full.TimeNS {
+		t.Errorf("%s: replay time %d, full simulation %d", name, gotNS, full.TimeNS)
+	}
+	st := h.Stats()
+	if !reflect.DeepEqual(st.Down, full.Mem.Down) {
+		t.Errorf("%s: downstream stats diverge\nreplay: %+v\nfull:   %+v", name, st.Down, full.Mem.Down)
+	}
+	if st.MemReads != full.Mem.MemReads || st.MemWrites != full.Mem.MemWrites || st.MemStallNS != full.Mem.MemStallNS {
+		t.Errorf("%s: memory stats diverge: replay %d/%d/%d, full %d/%d/%d", name,
+			st.MemReads, st.MemWrites, st.MemStallNS, full.Mem.MemReads, full.Mem.MemWrites, full.Mem.MemStallNS)
+	}
+	if !reflect.DeepEqual(st.MemBuf, full.Mem.MemBuf) {
+		t.Errorf("%s: memory write-buffer stats diverge: replay %+v, full %+v", name, st.MemBuf, full.Mem.MemBuf)
+	}
+	if st.MemBusBusyCycles != full.Mem.MemBusBusyCycles {
+		t.Errorf("%s: bus cycles diverge: replay %d, full %d", name, st.MemBusBusyCycles, full.Mem.MemBusBusyCycles)
+	}
+}
+
+// TestReplayMatchesPivotConfig: the degenerate replay (same config as the
+// pivot) reproduces the pivot's own numbers.
+func TestReplayMatchesPivotConfig(t *testing.T) {
+	a := onepassArena(t, 60_000)
+	cfg := onepassBase()
+	log, _ := capture(t, cfg, a, 12_000)
+	checkReplay(t, "pivot", cfg, a, 12_000, log)
+}
+
+// TestReplayAcrossDownstreamVariants: one capture serves every downstream
+// variation the planner classifies as analytic.
+func TestReplayAcrossDownstreamVariants(t *testing.T) {
+	a := onepassArena(t, 80_000)
+	base := onepassBase()
+	const warmup = 16_000
+	log, _ := capture(t, base, a, warmup)
+
+	variants := map[string]func(*memsys.Config){
+		"smaller L2":      func(c *memsys.Config) { c.Down[0].Cache.SizeBytes = 16 * 1024 },
+		"larger L2":       func(c *memsys.Config) { c.Down[0].Cache.SizeBytes = 512 * 1024 },
+		"2-way L2":        func(c *memsys.Config) { c.Down[0].Cache.Assoc = 2 },
+		"slow L2":         func(c *memsys.Config) { c.Down[0].CycleNS = 80 },
+		"L2 write cycles": func(c *memsys.Config) { c.Down[0].WriteCycles = 3 },
+		"sub-block L2":    func(c *memsys.Config) { c.Down[0].Cache.FetchBytes = 16; c.Down[0].Cache.BlockBytes = 64 },
+		"deep buffers":    func(c *memsys.Config) { c.WBDepth = 8 },
+		"shallow buffers": func(c *memsys.Config) { c.WBDepth = 1 },
+		"coalescing":      func(c *memsys.Config) { c.WBCoalesce = true },
+		"no buffers":      func(c *memsys.Config) { c.WBDepth = -1 },
+		"slow memory":     func(c *memsys.Config) { c.Memory.ReadNS *= 4; c.Memory.WriteNS *= 4 },
+		"narrow bus":      func(c *memsys.Config) { c.MemBusWidthBytes = 4 },
+		"no L2":           func(c *memsys.Config) { c.Down = nil },
+		"three levels": func(c *memsys.Config) {
+			c.Down = append(c.Down, memsys.LevelConfig{
+				Cache: cache.Config{
+					Name: "L3", SizeBytes: 1024 * 1024, BlockBytes: 64, Assoc: 1,
+					Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+				},
+				CycleNS: 60,
+			})
+		},
+	}
+	for name, mutate := range variants {
+		cfg := onepassBase()
+		mutate(&cfg)
+		checkReplay(t, name, cfg, a, warmup, log)
+	}
+}
+
+// TestReplayWriteThroughFirstLevel: a write-through first level sends every
+// store down; the boundary log carries them as write-down events.
+func TestReplayWriteThroughFirstLevel(t *testing.T) {
+	a := onepassArena(t, 50_000)
+	base := onepassBase()
+	base.L1I.Cache.Write = cache.WriteThrough
+	base.L1D.Cache.Write = cache.WriteThrough
+	base.L1D.Cache.Alloc = cache.NoWriteAllocate
+	const warmup = 10_000
+	log, _ := capture(t, base, a, warmup)
+	for name, l2 := range map[string]int64{"small L2": 16 * 1024, "big L2": 256 * 1024} {
+		cfg := base
+		cfg.Down = append([]memsys.LevelConfig(nil), base.Down...)
+		cfg.Down[0].Cache.SizeBytes = l2
+		checkReplay(t, name, cfg, a, warmup, log)
+	}
+}
+
+// TestReplayUnifiedFirstLevel: unified L1 groups capture and replay too.
+func TestReplayUnifiedFirstLevel(t *testing.T) {
+	a := onepassArena(t, 50_000)
+	cfg := onepassBase()
+	cfg.SplitL1 = false
+	cfg.L1 = cfg.L1I
+	cfg.L1.Cache.Name = "L1"
+	cfg.L1.Cache.SizeBytes = 4 * 1024
+	cfg.L1I, cfg.L1D = memsys.LevelConfig{}, memsys.LevelConfig{}
+	const warmup = 10_000
+	log, _ := capture(t, cfg, a, warmup)
+	variant := cfg
+	variant.Down = append([]memsys.LevelConfig(nil), cfg.Down...)
+	variant.Down[0].Cache.SizeBytes = 8 * 1024
+	variant.Down[0].CycleNS = 50
+	checkReplay(t, "unified", variant, a, warmup, log)
+}
+
+// TestReplayWarmupEdges: no warm-up at all, and warm-up longer than the
+// trace (recording never starts).
+func TestReplayWarmupEdges(t *testing.T) {
+	a := onepassArena(t, 20_000)
+	base := onepassBase()
+	for name, warmup := range map[string]int64{"no warmup": 0, "warmup beyond trace": 1_000_000} {
+		log, _ := capture(t, base, a, warmup)
+		variant := onepassBase()
+		variant.Down[0].Cache.SizeBytes = 8 * 1024
+		checkReplay(t, name, variant, a, warmup, log)
+	}
+}
+
+// TestReplayInterrupt: a firing interrupt stops the replay with its error.
+func TestReplayInterrupt(t *testing.T) {
+	a := onepassArena(t, 20_000)
+	base := onepassBase()
+	log, _ := capture(t, base, a, 0)
+	if len(log.Events) == 0 {
+		t.Fatal("no boundary events captured")
+	}
+	h := memsys.MustNew(base)
+	want := errSentinel{}
+	if _, err := h.ReplayDown(log, func() error { return want }); err != want {
+		t.Fatalf("replay error = %v, want sentinel", err)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "interrupted" }

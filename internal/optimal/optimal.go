@@ -6,11 +6,14 @@
 //
 // The search combines the paper's two methods. A technology model maps
 // each candidate organization (size, set size) to its achievable cycle
-// time; a single stack-distance profiling pass over the workload predicts
-// every candidate's miss ratio at once; Equation 1 then ranks all
-// candidates analytically, and the top few are verified by full timing
-// simulation, which settles effects the analytical model cannot see
-// (write buffering, conflict misses, bus contention).
+// time; a single profiling pass over the workload measures every
+// candidate's miss ratio at once — the set-associative stack-distance
+// grid gives the exact LRU miss count for each (size, associativity)
+// point, and the same pass profiles the base machine's own first level
+// for M_L1; Equation 1 then ranks all candidates analytically, and the
+// top few are verified by full timing simulation, which settles effects
+// the analytical model cannot see (write buffering, bus contention,
+// store traffic).
 package optimal
 
 import (
@@ -154,8 +157,40 @@ func Search(cfg Config) (Result, error) {
 		return res, fmt.Errorf("optimal: missing trace source")
 	}
 
-	// Phase 1: one profiling pass over the read stream predicts the miss
-	// ratio of every candidate size at once.
+	// Phase 1: one pass over the read stream feeds several one-pass
+	// engines at once: the fully-associative profiler (miss-model fit and
+	// fallback curve), the exact set-associative grid over every candidate
+	// L2 geometry, a fully-associative profiler at the L2 block size for
+	// assoc-0 candidates, and an exact profile of the base machine's own
+	// first level for M_L1.
+	assocs := cfg.Tech.Assocs
+	if len(assocs) == 0 {
+		assocs = []int{1}
+	}
+	var techSizes []int64
+	for sz := cfg.Tech.MinSizeBytes; sz <= cfg.Tech.MaxSizeBytes; sz *= 2 {
+		techSizes = append(techSizes, sz)
+	}
+	l2Block := int(cfg.Base.Down[0].Cache.BlockBytes)
+	var setAssocs []int
+	for _, a := range assocs {
+		if a >= 1 {
+			setAssocs = append(setAssocs, a)
+		}
+	}
+	// A candidate space the grid cannot represent (non-power-of-two set
+	// counts) leaves l2grid nil and those candidates fall back to the
+	// fully-associative curve with the conflict-miss factor.
+	var l2grid *stackdist.Grid
+	if len(setAssocs) > 0 {
+		l2grid, _ = stackdist.NewGrid(l2Block, techSizes, setAssocs)
+	}
+	var l2fa *stackdist.Profiler
+	if len(setAssocs) < len(assocs) { // some candidate is fully associative
+		l2fa, _ = stackdist.New(l2Block)
+	}
+	l1prof := newL1Profile(cfg.Base)
+
 	prof := stackdist.MustNew(16)
 	var reads, stores int64
 	s := cfg.Trace()
@@ -166,6 +201,13 @@ func Search(cfg Config) (Result, error) {
 		}
 		if r.Kind.IsRead() {
 			prof.Access(r.Addr)
+			if l2grid != nil {
+				l2grid.Access(r.Addr)
+			}
+			if l2fa != nil {
+				l2fa.Access(r.Addr)
+			}
+			l1prof.access(r.Addr, r.Kind)
 			reads++
 		} else {
 			stores++
@@ -177,9 +219,12 @@ func Search(cfg Config) (Result, error) {
 
 	l1Size := firstLevelBytes(cfg.Base)
 	res.ML1 = prof.MissRatioAtCapacity(l1Size / 16)
+	if m, ok := l1prof.readMissRatio(); ok {
+		res.ML1 = m
+	}
 
 	var sizes, ratios []float64
-	for sz := cfg.Tech.MinSizeBytes; sz <= cfg.Tech.MaxSizeBytes; sz *= 2 {
+	for _, sz := range techSizes {
 		m := prof.MissRatioAtCapacity(sz / 16)
 		sizes = append(sizes, float64(sz))
 		if m <= 0 {
@@ -192,10 +237,6 @@ func Search(cfg Config) (Result, error) {
 	}
 
 	// Phase 2: rank all candidates with Equation 1.
-	assocs := cfg.Tech.Assocs
-	if len(assocs) == 0 {
-		assocs = []int{1}
-	}
 	cpuCyc := float64(cfg.Base.CPUCycleNS)
 	nMM := memPenaltyNS(cfg.Base) / cpuCyc
 	for i, szf := range sizes {
@@ -203,8 +244,15 @@ func Search(cfg Config) (Result, error) {
 		for _, a := range assocs {
 			cyc := cfg.Tech.CycleNS(sz, a)
 			// The L2 global miss ratio equals its solo (profiled) miss
-			// ratio by the §3 independence result.
-			miss := clamp01(ratios[i] * assocFactor(a))
+			// ratio by the §3 independence result. The one-pass engines
+			// give that solo ratio exactly for every representable
+			// geometry; only an unrepresentable one is approximated from
+			// the fully-associative curve.
+			miss, exact := candidateMiss(l2grid, l2fa, l2Block, sz, a)
+			if !exact {
+				miss = ratios[i] * assocFactor(a)
+			}
+			miss = clamp01(miss)
 			p := analytic.ExecParams{
 				Reads: float64(reads), Stores: float64(stores),
 				NL1: 1, NL2: float64(cyc) / cpuCyc, NMM: nMM, TL1Write: 2,
@@ -280,11 +328,107 @@ func Search(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// candidateMiss returns the exact solo miss ratio of an L2 candidate from
+// the one-pass engines: the set-associative grid for assoc ≥ 1, the
+// fully-associative profiler at the L2 block size for assoc 0. ok is
+// false when no engine covered the geometry (the caller falls back to
+// the approximate curve).
+func candidateMiss(g *stackdist.Grid, fa *stackdist.Profiler, blockBytes int, sz int64, assoc int) (float64, bool) {
+	if assoc == 0 {
+		if fa == nil {
+			return 0, false
+		}
+		return fa.MissRatioAtCapacity(sz / int64(blockBytes)), true
+	}
+	if g == nil {
+		return 0, false
+	}
+	return g.MissRatio(sz, assoc)
+}
+
+// l1Profile measures the base machine's first-level read miss ratio
+// exactly in the profiling pass: one single-geometry grid per L1 side,
+// routed by reference kind for a split first level. A first level the
+// grid engine cannot represent (fully associative, non-power-of-two set
+// count) yields a nil profile and Search keeps the fully-associative
+// capacity estimate instead.
+type l1Profile struct {
+	i, d           *stackdist.Grid // i nil for a unified first level
+	iSize, dSize   int64
+	iAssoc, dAssoc int
+}
+
+func newL1Profile(base memsys.Config) *l1Profile {
+	mk := func(lc memsys.LevelConfig) *stackdist.Grid {
+		g, err := stackdist.NewGrid(int(lc.Cache.BlockBytes),
+			[]int64{lc.Cache.SizeBytes}, []int{lc.Cache.Assoc})
+		if err != nil {
+			return nil
+		}
+		return g
+	}
+	if base.SplitL1 {
+		ig, dg := mk(base.L1I), mk(base.L1D)
+		if ig == nil || dg == nil {
+			return nil
+		}
+		return &l1Profile{
+			i: ig, d: dg,
+			iSize: base.L1I.Cache.SizeBytes, iAssoc: base.L1I.Cache.Assoc,
+			dSize: base.L1D.Cache.SizeBytes, dAssoc: base.L1D.Cache.Assoc,
+		}
+	}
+	g := mk(base.L1)
+	if g == nil {
+		return nil
+	}
+	return &l1Profile{d: g, dSize: base.L1.Cache.SizeBytes, dAssoc: base.L1.Cache.Assoc}
+}
+
+// access records one read on the side its kind selects.
+func (p *l1Profile) access(addr uint64, k trace.Kind) {
+	if p == nil {
+		return
+	}
+	if p.i != nil && k == trace.IFetch {
+		p.i.Access(addr)
+		return
+	}
+	p.d.Access(addr)
+}
+
+// readMissRatio returns the exact first-level global read miss ratio.
+func (p *l1Profile) readMissRatio() (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	var misses, total int64
+	if p.i != nil {
+		m, ok := p.i.Misses(p.iSize, p.iAssoc)
+		if !ok {
+			return 0, false
+		}
+		misses += m
+		total += p.i.Total()
+	}
+	m, ok := p.d.Misses(p.dSize, p.dAssoc)
+	if !ok {
+		return 0, false
+	}
+	misses += m
+	total += p.d.Total()
+	if total == 0 {
+		return 0, false
+	}
+	return float64(misses) / float64(total), true
+}
+
 // assocFactor approximates the miss-ratio benefit of set associativity
 // over direct-mapped at equal size: Hill's empirical ~30% conflict misses
 // removed going to 2-way, with diminishing returns beyond (the profiled
 // curve is fully associative, so direct-mapped candidates are penalized
-// instead: factor > 1).
+// instead: factor > 1). It survives only as the fallback for candidate
+// geometries the one-pass grid cannot represent.
 func assocFactor(assoc int) float64 {
 	switch {
 	case assoc == 1:

@@ -213,6 +213,39 @@ func TestSearchPrefersAssociativityWhenCheap(t *testing.T) {
 	}
 }
 
+// TestPredictedMissIsExact: with the one-pass grid in play, a candidate's
+// PredictedMiss is not a fudged estimate — it equals the measured miss
+// ratio of a solo LRU cache of exactly that geometry fed the read stream.
+func TestPredictedMissIsExact(t *testing.T) {
+	cfg := testSearchConfig()
+	res, err := Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cand := range res.Candidates {
+		c := cache.MustNew(cache.Config{
+			Name: "solo", SizeBytes: cand.SizeBytes, BlockBytes: 32, Assoc: cand.Assoc,
+			Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+		})
+		var reads int64
+		s := cfg.Trace()
+		for {
+			r, err := s.Next()
+			if err != nil {
+				break
+			}
+			if r.Kind.IsRead() {
+				c.Access(r.Addr, false)
+				reads++
+			}
+		}
+		want := float64(c.Stats().ReadMisses) / float64(reads)
+		if cand.PredictedMiss != want {
+			t.Errorf("%v: predicted miss %v, solo simulation %v", cand, cand.PredictedMiss, want)
+		}
+	}
+}
+
 func TestRender(t *testing.T) {
 	res, err := Search(testSearchConfig())
 	if err != nil {

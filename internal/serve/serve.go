@@ -95,6 +95,11 @@ type Config struct {
 	// is nil (0 = unlimited).
 	AnonRatePerSec float64
 	AnonBurst      int
+	// DefaultPlan is applied to submitted jobs that leave JobSpec.Plan
+	// empty ("full" or "onepass"; "" keeps the full plan). A spec that
+	// names a plan explicitly wins. Applied before journaling, so a
+	// replayed job re-runs under the plan it was admitted with.
+	DefaultPlan string
 	// Logf receives operational events; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -152,6 +157,9 @@ type pendingJob struct {
 // mlcserve_points_replayed_total) and interrupted jobs are queued for
 // ResumeInterrupted.
 func New(cfg Config) (*Server, error) {
+	if _, err := sweep.ParsePlanMode(cfg.DefaultPlan); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
 		arenas:  NewArenaCache(cfg.ArenaBudgetBytes),
@@ -491,6 +499,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// The tenant label is the server's to assign; a client cannot claim
 	// another tenant's name.
 	spec.Tenant = tn.name
+	if spec.Plan == "" {
+		spec.Plan = s.cfg.DefaultPlan
+	}
 	asCSV := false
 	if v := r.URL.Query().Get("csv"); v != "" && v != "0" && v != "false" {
 		asCSV = true

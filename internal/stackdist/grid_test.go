@@ -1,0 +1,232 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/synth"
+	"mlcache/internal/trace"
+)
+
+func TestGridValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		block  int
+		sizes  []int64
+		assocs []int
+	}{
+		{"bad block", 24, []int64{1024}, []int{1}},
+		{"no sizes", 16, nil, []int{1}},
+		{"no assocs", 16, []int64{1024}, nil},
+		{"fully associative", 16, []int64{1024}, []int{0}},
+		{"non multiple", 16, []int64{1024}, []int{3}},
+		{"non pow2 sets", 16, []int64{1024 * 3}, []int{1}},
+	}
+	for _, c := range cases {
+		if _, err := NewGrid(c.block, c.sizes, c.assocs); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := NewGrid(16, []int64{1024, 4096}, []int{1, 2, 4}); err != nil {
+		t.Fatalf("valid grid rejected: %v", err)
+	}
+}
+
+func TestGridUnknownGeometry(t *testing.T) {
+	g := MustNewGrid(16, []int64{1024}, []int{1, 2})
+	if _, ok := g.Misses(2048, 1); ok {
+		t.Error("unknown size answered")
+	}
+	if _, ok := g.Misses(1024, 4); ok {
+		t.Error("associativity beyond grid answered")
+	}
+	if _, ok := g.Misses(1024, 2); !ok {
+		t.Error("grid geometry unanswered")
+	}
+}
+
+// TestGridMatchesCacheSimulation: one pass of the grid engine reproduces
+// the exact read miss count of a dedicated LRU cache simulation at every
+// (size, assoc) point — the property the one-pass sweep planner rests on.
+func TestGridMatchesCacheSimulation(t *testing.T) {
+	sizes := []int64{1024, 4096, 16384, 65536}
+	assocs := []int{1, 2, 4}
+	g := MustNewGrid(32, sizes, assocs)
+
+	type geom struct {
+		size  int64
+		assoc int
+	}
+	caches := map[geom]*cache.Cache{}
+	for _, sz := range sizes {
+		for _, a := range assocs {
+			caches[geom{sz, a}] = cache.MustNew(cache.Config{
+				Name: "ref", SizeBytes: sz, BlockBytes: 32, Assoc: a,
+				Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+			})
+		}
+	}
+
+	s := synth.PaperStream(7, 150_000)
+	for {
+		r, err := s.Next()
+		if err != nil {
+			break
+		}
+		if !r.Kind.IsRead() {
+			continue
+		}
+		g.Access(r.Addr)
+		for _, c := range caches {
+			c.Access(r.Addr, false)
+		}
+	}
+	if g.Total() == 0 || g.Cold() == 0 {
+		t.Fatal("profile saw nothing")
+	}
+	for gm, c := range caches {
+		want := c.Stats().ReadMisses
+		got, ok := g.Misses(gm.size, gm.assoc)
+		if !ok {
+			t.Fatalf("%+v not answerable", gm)
+		}
+		if got != want {
+			t.Errorf("%dB %d-way: grid %d, simulation %d", gm.size, gm.assoc, got, want)
+		}
+	}
+}
+
+// TestSplitGridRoutesKinds: instruction fetches profile the I side, loads
+// and stores the D side, matching a split pair of LRU caches.
+func TestSplitGridRoutesKinds(t *testing.T) {
+	sg, err := NewSplitGrid(16, []int64{2048}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *cache.Cache {
+		return cache.MustNew(cache.Config{
+			Name: "ref", SizeBytes: 2048, BlockBytes: 16, Assoc: 1,
+			Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+		})
+	}
+	ci, cd := mk(), mk()
+	s := synth.PaperStream(3, 60_000)
+	for {
+		r, err := s.Next()
+		if err != nil {
+			break
+		}
+		sg.Access(r.Addr, r.Kind)
+		if r.Kind == trace.IFetch {
+			ci.Access(r.Addr, false)
+		} else {
+			cd.Access(r.Addr, false)
+		}
+	}
+	if got, _ := sg.I.Misses(2048, 1); got != ci.Stats().ReadMisses {
+		t.Errorf("I side: grid %d, simulation %d", got, ci.Stats().ReadMisses)
+	}
+	if got, _ := sg.D.Misses(2048, 1); got != cd.Stats().ReadMisses {
+		t.Errorf("D side: grid %d, simulation %d", got, cd.Stats().ReadMisses)
+	}
+}
+
+// naiveSetLRU is a trivially correct set-associative LRU simulator used as
+// the fuzz oracle.
+type naiveSetLRU struct {
+	sets  int
+	assoc int
+	ways  [][]uint64 // per set, MRU last
+}
+
+func newNaiveSetLRU(sets, assoc int) *naiveSetLRU {
+	return &naiveSetLRU{sets: sets, assoc: assoc, ways: make([][]uint64, sets)}
+}
+
+func (n *naiveSetLRU) access(block uint64) bool {
+	set := int(block) & (n.sets - 1)
+	w := n.ways[set]
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] == block {
+			copy(w[i:], w[i+1:])
+			w[len(w)-1] = block
+			return true
+		}
+	}
+	if len(w) == n.assoc {
+		copy(w, w[1:])
+		w[len(w)-1] = block
+	} else {
+		w = append(w, block)
+		n.ways[set] = w
+	}
+	return false
+}
+
+// FuzzGridEquivalence: for arbitrary reference strings the grid engine's
+// miss counts equal a naive set-associative LRU simulation at every
+// geometry of a small grid.
+func FuzzGridEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1})
+	f.Add([]byte{9, 9, 9})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		const block = 16
+		sizes := []int64{4 * block, 16 * block}
+		assocs := []int{1, 2, 4}
+		g := MustNewGrid(block, sizes, assocs)
+		type geom struct {
+			size  int64
+			assoc int
+		}
+		refs := map[geom]*naiveSetLRU{}
+		misses := map[geom]int64{}
+		for _, sz := range sizes {
+			for _, a := range assocs {
+				refs[geom{sz, a}] = newNaiveSetLRU(int(sz)/(a*block), a)
+			}
+		}
+		for _, b := range raw {
+			addr := uint64(b%32) * block
+			g.Access(addr)
+			for gm, sim := range refs {
+				if !sim.access(addr / block) {
+					misses[gm]++
+				}
+			}
+		}
+		for gm := range refs {
+			got, ok := g.Misses(gm.size, gm.assoc)
+			if !ok {
+				t.Fatalf("%+v not answerable", gm)
+			}
+			if got != misses[gm] {
+				t.Fatalf("%dB %d-way: grid %d, naive %d (trace %v)", gm.size, gm.assoc, got, misses[gm], raw)
+			}
+		}
+	})
+}
+
+// TestGridManyDistinctBlocks: distances beyond every tracked associativity
+// land in the deep counter, and miss counts stay exact with a working set
+// far larger than any grid geometry.
+func TestGridManyDistinctBlocks(t *testing.T) {
+	g := MustNewGrid(16, []int64{1024}, []int{2})
+	ref := newNaiveSetLRU(32, 2)
+	var misses int64
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200_000; i++ {
+		b := uint64(rng.Intn(70_000))
+		g.Access(b * 16)
+		if !ref.access(b) {
+			misses++
+		}
+	}
+	got, _ := g.Misses(1024, 2)
+	if got != misses {
+		t.Errorf("grid %d, naive %d", got, misses)
+	}
+}

@@ -193,6 +193,32 @@ func (p *Profiler) Curve(blockBytes int, loBytes, hiBytes int64) (sizes []int64,
 	return sizes, ratios
 }
 
+// Bin is one row of the stack-distance histogram: Count references had a
+// distance in [Lo, Hi]. Exact distances (below 64 Ki) have Lo == Hi; deeper
+// distances report their log2 bucket bounds.
+type Bin struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// Histogram returns the nonzero histogram bins in ascending distance order.
+// Cold (compulsory) references are not binned; see Cold.
+func (p *Profiler) Histogram() []Bin {
+	var out []Bin
+	for d, c := range p.exact {
+		if c != 0 {
+			out = append(out, Bin{Lo: int64(d), Hi: int64(d), Count: c})
+		}
+	}
+	for i, c := range p.deep {
+		if c != 0 {
+			lo := int64(exactCap) << uint(i)
+			out = append(out, Bin{Lo: lo, Hi: 2*lo - 1, Count: c})
+		}
+	}
+	return out
+}
+
 // MeanDistance returns the mean finite stack distance (NaN if none).
 func (p *Profiler) MeanDistance() float64 {
 	var sum, n float64

@@ -268,6 +268,142 @@ func (l *naiveLRU) access(block uint64) bool {
 	return false
 }
 
+// TestCompactionBeyond64K drives the profiler through >64K distinct blocks
+// — forcing both time-slot compaction and the deep log2 buckets — and
+// checks miss counts against trivially correct references at several
+// capacities, plus internal histogram consistency.
+func TestCompactionBeyond64K(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := MustNew(16)
+	small := naiveLRU{capacity: 7}
+	mid := naiveLRU{capacity: 100}
+	c := cache.MustNew(cache.Config{
+		Name: "fa", SizeBytes: 4096 * 16, BlockBytes: 16, Assoc: 0,
+		Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+	})
+	var smallMiss, midMiss int64
+	const distinct = 130_000 // > 64K: every access pattern crosses exactCap
+	for i := 0; i < 260_000; i++ {
+		var b uint64
+		switch rng.Intn(4) {
+		case 0:
+			b = uint64(rng.Intn(50))
+		case 1:
+			b = uint64(rng.Intn(2000))
+		default:
+			b = uint64(rng.Intn(distinct))
+		}
+		a := b * 16
+		p.Access(a)
+		if !small.access(b) {
+			smallMiss++
+		}
+		if !mid.access(b) {
+			midMiss++
+		}
+		c.Access(a, false)
+	}
+	if p.DistinctBlocks() <= 1<<16 {
+		t.Fatalf("only %d distinct blocks; test must exceed 64K", p.DistinctBlocks())
+	}
+	if got := p.MissesAtCapacity(7); got != smallMiss {
+		t.Errorf("capacity 7: profiler %d, naive %d", got, smallMiss)
+	}
+	if got := p.MissesAtCapacity(100); got != midMiss {
+		t.Errorf("capacity 100: profiler %d, naive %d", got, midMiss)
+	}
+	if got, want := p.MissesAtCapacity(4096), c.Stats().ReadMisses; got != want {
+		t.Errorf("capacity 4096: profiler %d, simulation %d", got, want)
+	}
+	// Histogram bins plus cold references account for every access.
+	var binned int64
+	for _, b := range p.Histogram() {
+		if b.Lo > b.Hi || b.Count <= 0 {
+			t.Fatalf("malformed bin %+v", b)
+		}
+		binned += b.Count
+	}
+	if binned+p.Cold() != p.Total() {
+		t.Errorf("histogram %d + cold %d != total %d", binned, p.Cold(), p.Total())
+	}
+}
+
+// naiveDistance is the O(n·m) textbook stack-distance computation: a flat
+// LRU stack searched linearly, returning the 1-based distance or 0 when the
+// block is cold.
+type naiveDistance struct {
+	order []uint64 // MRU last
+}
+
+func (n *naiveDistance) access(block uint64) int64 {
+	for i := len(n.order) - 1; i >= 0; i-- {
+		if n.order[i] == block {
+			d := int64(len(n.order) - i)
+			copy(n.order[i:], n.order[i+1:])
+			n.order[len(n.order)-1] = block
+			return d
+		}
+	}
+	n.order = append(n.order, block)
+	return 0
+}
+
+// FuzzProfileEquivalence: for arbitrary reference strings the profiler's
+// histogram and per-capacity miss counts equal the naive O(n·m) stack
+// distance reference.
+func FuzzProfileEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 1, 0})
+	f.Add([]byte{255, 1, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		p := MustNew(16)
+		ref := &naiveDistance{}
+		hist := map[int64]int64{}
+		var cold int64
+		for _, v := range raw {
+			b := uint64(v % 64)
+			p.Access(b * 16)
+			if d := ref.access(b); d == 0 {
+				cold++
+			} else {
+				hist[d]++
+			}
+		}
+		if p.Cold() != cold {
+			t.Fatalf("cold %d, naive %d", p.Cold(), cold)
+		}
+		got := map[int64]int64{}
+		for _, b := range p.Histogram() {
+			if b.Lo != b.Hi {
+				t.Fatalf("deep bin %+v on a %d-ref trace", b, len(raw))
+			}
+			got[b.Lo] = b.Count
+		}
+		for d, c := range hist {
+			if got[d] != c {
+				t.Fatalf("distance %d: profiler %d, naive %d (trace %v)", d, got[d], c, raw)
+			}
+		}
+		if len(got) != len(hist) {
+			t.Fatalf("bin sets differ: profiler %v, naive %v (trace %v)", got, hist, raw)
+		}
+		for capacity := int64(1); capacity <= 65; capacity++ {
+			var want int64 = cold
+			for d, c := range hist {
+				if d > capacity {
+					want += c
+				}
+			}
+			if p.MissesAtCapacity(capacity) != want {
+				t.Fatalf("capacity %d: profiler %d, naive %d (trace %v)",
+					capacity, p.MissesAtCapacity(capacity), want, raw)
+			}
+		}
+	})
+}
+
 // Property: the fenwick tree agrees with a naive bitmap.
 func TestQuickFenwick(t *testing.T) {
 	f := func(ops []uint16) bool {

@@ -68,6 +68,9 @@ func (r Runner) RunContext(ctx context.Context, pts []Point, opts Options) ([]Re
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if r.Plan == PlanOnePass && !r.StreamPerPoint {
+		return r.runOnePass(ctx, pts, opts)
+	}
 	par := opts.Parallelism
 	if par <= 0 {
 		par = r.Parallelism

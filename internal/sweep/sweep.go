@@ -182,6 +182,13 @@ type Runner struct {
 	// for traces too large to hold in memory.
 	StreamPerPoint bool
 	CPU            cpu.Config
+	// Plan selects the evaluation strategy: PlanFull simulates every point
+	// end to end; PlanOnePass captures the first-level boundary stream once
+	// per group of analytic points and replays it for the rest, producing
+	// bit-identical tables in a fraction of the trace passes (see
+	// planner.go). One-pass needs the shared arena, so StreamPerPoint
+	// forces the full plan.
+	Plan PlanMode
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
 	// Pool, when non-nil, shares hierarchies beyond this run: workers draw

@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // BatchReader is the bulk counterpart of Stream: ReadRefs fills buf with
@@ -25,6 +26,9 @@ type BatchReader interface {
 // backing array never changes.
 type Arena struct {
 	refs []Ref
+	// cursors counts Cursor calls — a cheap pass-count proxy used by tests
+	// asserting the one-pass planner's trace-pass budget.
+	cursors atomic.Int64
 }
 
 // Materialize drains s into a new Arena. It returns any error other than
@@ -57,7 +61,14 @@ func (a *Arena) Refs() []Ref { return a.refs }
 // arena. Cursors are cheap (no copying) and any number may read the same
 // arena concurrently; each individual Cursor is not safe for concurrent
 // use.
-func (a *Arena) Cursor() *Cursor { return &Cursor{refs: a.refs} }
+func (a *Arena) Cursor() *Cursor {
+	a.cursors.Add(1)
+	return &Cursor{refs: a.refs}
+}
+
+// Cursors returns how many Cursors have been opened on the arena — an
+// upper bound on the number of passes readers have made over the trace.
+func (a *Arena) Cursors() int64 { return a.cursors.Load() }
 
 // Cursor reads an Arena sequentially. It implements both Stream (Next) for
 // compatibility with every existing consumer and BatchReader (ReadRefs)
