@@ -15,6 +15,13 @@
 // multi-tenant: /jobs requires an API key, each tenant gets token-bucket
 // admission, a weighted share of the run slots, and labeled /metrics.
 //
+// With -artifact-store the service is also a content-addressed trace
+// origin: clients PUT trace artifacts to /artifacts/sha256:<hex> and
+// submit jobs that name the workload by digest alone — no path on the
+// server, no shared filesystem. Because API keys are bearer secrets,
+// -tenants-config over plaintext HTTP is refused unless -insecure;
+// configure -tls-cert/-tls-key for production.
+//
 // Usage:
 //
 //	mlcserve -addr :9292 -state-dir /var/lib/mlcserve
@@ -41,6 +48,7 @@ import (
 
 	"mlcache/internal/prof"
 	"mlcache/internal/serve"
+	"mlcache/internal/store"
 	"mlcache/internal/sweep"
 )
 
@@ -51,11 +59,13 @@ type options struct {
 	queue        int
 	arenaBudget  int64
 	stateDir     string
+	artifactDir  string
 	journalMaxMB int64
 	tenantsPath  string
 	anonRate     float64
 	anonBurst    int
 	plan         string
+	sec          store.Security
 }
 
 // validate rejects unusable flag combinations up front — an unwritable
@@ -94,8 +104,16 @@ func validate(o options) (*serve.Tenants, error) {
 		}
 		os.Remove(probe)
 	}
+	if err := o.sec.CheckServer(); err != nil {
+		return nil, err
+	}
 	if o.tenantsPath == "" {
 		return nil, nil
+	}
+	// API keys are bearer secrets exactly like the store token: accepting
+	// them over plaintext hands them to the network.
+	if !o.sec.TLSServer() && !o.sec.Insecure {
+		return nil, fmt.Errorf("-tenants-config turns on API keys; refusing to accept them over plaintext HTTP — configure -tls-cert/-tls-key or pass -insecure")
 	}
 	tenants, err := serve.LoadTenants(o.tenantsPath)
 	if err != nil {
@@ -120,6 +138,10 @@ func main() {
 		tenantsPath  = flag.String("tenants-config", "", "JSON tenant table turning on API-key auth, quotas, and fair scheduling")
 		anonRate     = flag.Float64("tenant-rate", 0, "anonymous-tenant admission rate in jobs/sec without -tenants-config (0 = unlimited)")
 		anonBurst    = flag.Int("tenant-burst", 0, "anonymous-tenant admission burst (0 = rate-derived)")
+		artifactDir  = flag.String("artifact-store", "", "serve and accept content-addressed trace artifacts under /artifacts/ from this directory")
+		tlsCert      = flag.String("tls-cert", "", "serve HTTPS with this PEM certificate (with -tls-key)")
+		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		insecure     = flag.Bool("insecure", false, "allow API keys over plaintext HTTP (testing only)")
 		plan         = flag.String("plan", "full", "default grid evaluation plan for jobs that do not name one (full or onepass)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
@@ -128,11 +150,12 @@ func main() {
 	)
 	flag.Parse()
 
+	sec := store.Security{CertFile: *tlsCert, KeyFile: *tlsKey, Insecure: *insecure}
 	tenants, err := validate(options{
 		jobs: *jobs, queue: *queue, arenaBudget: *arenaBudget,
-		stateDir: *stateDir, journalMaxMB: *journalMax,
+		stateDir: *stateDir, artifactDir: *artifactDir, journalMaxMB: *journalMax,
 		tenantsPath: *tenantsPath, anonRate: *anonRate, anonBurst: *anonBurst,
-		plan: *plan,
+		plan: *plan, sec: sec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
@@ -153,6 +176,7 @@ func main() {
 		PoolPerGeometry:   *poolPerGeom,
 		ResultCachePoints: *resultPoints,
 		StateDir:          *stateDir,
+		ArtifactDir:       *artifactDir,
 		JournalMaxBytes:   *journalMax << 20,
 		Tenants:           tenants,
 		AnonRatePerSec:    *anonRate,
@@ -182,8 +206,14 @@ func main() {
 	defer stop()
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (POST /jobs, GET /healthz, GET /metrics)", *addr)
+	scheme := "http"
+	if sec.TLSServer() {
+		scheme = "https"
+		go func() { serveErr <- srv.ListenAndServeTLS(sec.CertFile, sec.KeyFile) }()
+	} else {
+		go func() { serveErr <- srv.ListenAndServe() }()
+	}
+	log.Printf("listening on %s (%s; POST /jobs, GET /healthz, GET /metrics)", *addr, scheme)
 
 	select {
 	case err := <-serveErr:

@@ -46,13 +46,26 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 		},
 		{
 			"missing tenants config",
-			func(o *options) { o.tenantsPath = filepath.Join(t.TempDir(), "nope.json") },
+			func(o *options) {
+				o.tenantsPath = filepath.Join(t.TempDir(), "nope.json")
+				o.sec.Insecure = true
+			},
 			"no such file",
 		},
 		{
 			"invalid tenants config",
-			func(o *options) { o.tenantsPath = badTenants },
+			func(o *options) { o.tenantsPath = badTenants; o.sec.Insecure = true },
 			"-tenants-config",
+		},
+		{
+			"tenant keys over plaintext",
+			func(o *options) { o.tenantsPath = badTenants },
+			"plaintext",
+		},
+		{
+			"cert without key",
+			func(o *options) { o.sec.CertFile = "server.pem" },
+			"both a certificate and a key",
 		},
 	}
 	for _, tc := range cases {
@@ -96,6 +109,7 @@ func TestValidateAcceptsWorkingConfigs(t *testing.T) {
 	}
 	o = goodOptions()
 	o.tenantsPath = path
+	o.sec.Insecure = true
 	tenants, err := validate(o)
 	if err != nil {
 		t.Fatalf("valid tenants config rejected: %v", err)

@@ -23,6 +23,13 @@
 // stragglers are speculatively re-executed, and if no workers ever show up
 // the coordinator finishes the grid in-process.
 //
+// Workers need no shared filesystem: a coordinator serving an .mlca trace
+// publishes it by content digest at /artifacts/, and workers fetch it into
+// a local verified cache (-artifact-cache) on demand, resuming torn
+// transfers with Range requests. -token/-tls-cert/-tls-key/-tls-ca secure
+// both the protocol and the transfers; -publish additionally accepts
+// artifact uploads into a store directory.
+//
 // -plan onepass switches the engine to the one-pass planner: points whose
 // timing the L1 boundary replay reproduces exactly share a single trace
 // pass, and only timing-sensitive configurations are fully simulated. The
@@ -38,6 +45,8 @@
 //	sweep -trace mix.mlca -shard 0/4 -csv > shard0.csv
 //	sweep -trace mix.mlca -serve :9191 -shards 8 -csv > merged.csv
 //	sweep -join coordinator-host:9191
+//	sweep -trace mix.mlca -serve :9191 -tls-cert crt.pem -tls-key key.pem -token s3cret
+//	sweep -join coordinator-host:9191 -tls-ca crt.pem -token s3cret -artifact-cache /var/cache/mlc
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -60,7 +70,9 @@ import (
 	"mlcache/internal/cpu"
 	"mlcache/internal/experiments"
 	"mlcache/internal/prof"
+	"mlcache/internal/store"
 	"mlcache/internal/sweep"
+	"mlcache/internal/trace"
 )
 
 func main() {
@@ -96,6 +108,16 @@ func main() {
 		leaseTTL      = flag.Duration("lease-ttl", 10*time.Second, "with -serve: lease lifetime without a heartbeat before a shard is reassigned")
 		heartbeat     = flag.Duration("heartbeat", 0, "with -serve: worker heartbeat interval (default lease-ttl/5)")
 		localFallback = flag.Duration("local-fallback", 10*time.Second, "with -serve: finish shards in-process if no worker is active for this long (0 = never)")
+
+		publishDir = flag.String("publish", "", "with -serve: also accept artifact uploads (PUT /artifacts/{digest}) into this store directory and serve them")
+		cacheDir   = flag.String("artifact-cache", "", "with -join: directory for the content-addressed artifact cache (default <user cache dir>/mlcache/artifacts)")
+		cacheMB    = flag.Int64("artifact-cache-mb", 4096, "with -join: artifact cache budget in MiB")
+		throttle   = flag.Int64("fetch-throttle-bps", 0, "with -join: cap artifact download throughput in bytes/sec (0 = unlimited)")
+		token      = flag.String("token", "", "bearer token: required of clients with -serve, presented to the coordinator with -join")
+		tlsCert    = flag.String("tls-cert", "", "with -serve: TLS certificate file (enables HTTPS)")
+		tlsKey     = flag.String("tls-key", "", "with -serve: TLS key file")
+		tlsCA      = flag.String("tls-ca", "", "with -join: PEM root CA to trust for the coordinator (default: system roots)")
+		insecure   = flag.Bool("insecure", false, "permit the bearer token over plaintext HTTP (trusted networks only)")
 	)
 	flag.Parse()
 
@@ -110,11 +132,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	sec := store.Security{
+		Token:    *token,
+		CertFile: *tlsCert,
+		KeyFile:  *tlsKey,
+		CAFile:   *tlsCA,
+		Insecure: *insecure,
+	}
+
 	if *join != "" {
 		if *serve != "" {
 			log.Fatal("-serve and -join are mutually exclusive")
 		}
-		if err := runWorker(ctx, *join, *workerID, *par, *retries); err != nil && !errors.Is(err, context.Canceled) {
+		wo := workerOptions{
+			id: *workerID, par: *par, retries: *retries,
+			cacheDir: *cacheDir, cacheMB: *cacheMB, throttleBPS: *throttle, sec: sec,
+		}
+		if err := runWorker(ctx, *join, wo); err != nil && !errors.Is(err, context.Canceled) {
 			log.Fatal(err)
 		}
 		return
@@ -157,6 +191,25 @@ func main() {
 		if shardN > 1 {
 			log.Fatal("-shard splits a local sweep; with -serve use -shards")
 		}
+		if err := sec.CheckServer(); err != nil {
+			log.Fatal(err)
+		}
+		// An artifact-backed grid is published by content: workers that
+		// share the coordinator's filesystem open the path directly, and
+		// everyone else fetches the digest from /artifacts/.
+		if trace.IsArtifactPath(spec.TracePath) {
+			d, size, err := store.DigestFile(spec.TracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			crc, err := trace.ArtifactChecksum(spec.TracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.ArtifactDigest = d.String()
+			spec.ArtifactCRC = crc
+			log.Printf("serving trace artifact %s (%d bytes) at /artifacts/", d, size)
+		}
 		cfg := coord.Config{
 			Job:                spec,
 			Shards:             *shards,
@@ -166,7 +219,10 @@ func main() {
 			LocalParallelism:   *par,
 			Logf:               log.Printf,
 		}
-		code := runCoordinator(ctx, *serve, cfg, *ckptPath, *resume, *csv)
+		code := runCoordinator(ctx, *serve, cfg, coordinatorOptions{
+			ckptPath: *ckptPath, resume: *resume, csv: *csv,
+			publishDir: *publishDir, sec: sec,
+		})
 		stop()
 		stopProf()
 		os.Exit(code)
@@ -181,12 +237,30 @@ func main() {
 	os.Exit(code)
 }
 
+type workerOptions struct {
+	id          string
+	par         int
+	retries     int
+	cacheDir    string
+	cacheMB     int64
+	throttleBPS int64
+	sec         store.Security
+}
+
 // runWorker joins a coordinator and simulates leased shards until the grid
-// is done. Every grid parameter comes from the coordinator's job spec.
-func runWorker(ctx context.Context, addr, id string, par, retries int) error {
+// is done. Every grid parameter comes from the coordinator's job spec;
+// traces the spec names by digest are fetched from the coordinator into
+// the worker's local artifact cache.
+func runWorker(ctx context.Context, addr string, wo workerOptions) error {
 	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
+		// A worker given a CA to trust is clearly expected to speak TLS.
+		if wo.sec.CAFile != "" {
+			addr = "https://" + addr
+		} else {
+			addr = "http://" + addr
+		}
 	}
+	id := wo.id
 	if id == "" {
 		host, err := os.Hostname()
 		if err != nil || host == "" {
@@ -194,23 +268,73 @@ func runWorker(ctx context.Context, addr, id string, par, retries int) error {
 		}
 		id = fmt.Sprintf("%s.%d", host, os.Getpid())
 	}
-	w := &coord.Worker{
-		ID:           id,
-		Coordinator:  addr,
-		Parallelism:  par,
-		PointRetries: retries,
-		Logf:         log.Printf,
+	client, err := wo.sec.Client()
+	if err != nil {
+		return err
 	}
-	return w.Run(ctx)
+	cacheDir := wo.cacheDir
+	if cacheDir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			base = os.TempDir()
+		}
+		cacheDir = filepath.Join(base, "mlcache", "artifacts")
+	}
+	cache, err := store.NewCache(cacheDir, wo.cacheMB<<20)
+	if err != nil {
+		return err
+	}
+	w := &coord.Worker{
+		ID:               id,
+		Coordinator:      addr,
+		Client:           client,
+		Parallelism:      wo.par,
+		PointRetries:     wo.retries,
+		Artifacts:        cache,
+		FetchThrottleBPS: wo.throttleBPS,
+		Logf:             log.Printf,
+	}
+	err = w.Run(ctx)
+	if st := cache.Stats(); st.Fetches > 0 || st.Hits > 0 {
+		log.Printf("artifact cache %s: %d hits, %d fetches, %d evictions, %d bytes resident",
+			cacheDir, st.Hits, st.Fetches, st.Evictions, st.Bytes)
+	}
+	return err
+}
+
+type coordinatorOptions struct {
+	ckptPath   string
+	resume     bool
+	csv        bool
+	publishDir string
+	sec        store.Security
+}
+
+// resolverChain tries each resolver in turn; the coordinator's own trace
+// artifact first, then the publish store.
+type resolverChain []store.Resolver
+
+func (rc resolverChain) Resolve(d store.Digest) (string, error) {
+	var lastErr error = os.ErrNotExist
+	for _, r := range rc {
+		p, err := r.Resolve(d)
+		if err == nil {
+			return p, nil
+		}
+		lastErr = err
+	}
+	return "", lastErr
 }
 
 // runCoordinator serves the grid to workers, merges their results, and
 // renders the merged table. With -checkpoint, merged points are journaled
 // exactly like local sweeps, and -resume seeds already-journaled points.
-func runCoordinator(ctx context.Context, addr string, cfg coord.Config, ckptPath string, resume, csv bool) int {
+// The coordinator doubles as the artifact origin: its own trace artifact
+// (and, with -publish, any uploaded object) is served at /artifacts/.
+func runCoordinator(ctx context.Context, addr string, cfg coord.Config, co coordinatorOptions) int {
 	pts := cfg.Job.Points()
-	if resume {
-		prior := loadPrior(ckptPath, len(pts))
+	if co.resume {
+		prior := loadPrior(co.ckptPath, len(pts))
 		cfg.Prior = map[int]cpu.Result{}
 		for i, pt := range pts {
 			if run, ok := prior[pt.String()]; ok {
@@ -219,9 +343,9 @@ func runCoordinator(ctx context.Context, addr string, cfg coord.Config, ckptPath
 		}
 	}
 	var journal *checkpoint.Journal
-	if ckptPath != "" {
+	if co.ckptPath != "" {
 		var err error
-		journal, err = checkpoint.Open(ckptPath)
+		journal, err = checkpoint.Open(co.ckptPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -237,9 +361,31 @@ func runCoordinator(ctx context.Context, addr string, cfg coord.Config, ckptPath
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Addr: addr, Handler: c.Handler()}
+	var sources resolverChain
+	if d := cfg.Job.Digest(); !d.IsZero() {
+		sources = append(sources, store.Static{d: cfg.Job.TracePath})
+	}
+	var uploads *store.FileStore
+	if co.publishDir != "" {
+		uploads, err = store.OpenFileStore(co.publishDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, uploads)
+	}
+	root := http.NewServeMux()
+	root.Handle(store.PathArtifacts, &store.Handler{Source: sources, Uploads: uploads, Logf: log.Printf})
+	root.Handle("/", c.Handler())
+
+	srv := &http.Server{Addr: addr, Handler: co.sec.RequireAuth(root)}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.ListenAndServe() }()
+	go func() {
+		if co.sec.TLSServer() {
+			serveErr <- srv.ListenAndServeTLS(co.sec.CertFile, co.sec.KeyFile)
+		} else {
+			serveErr <- srv.ListenAndServe()
+		}
+	}()
 	log.Printf("coordinator on %s: %d grid points in %d shards (join with: sweep -join %s)",
 		addr, len(pts), cfg.Shards, addr)
 
@@ -265,13 +411,13 @@ func runCoordinator(ctx context.Context, addr string, cfg coord.Config, ckptPath
 		log.Printf("workers skipped up to %d corrupt trace record(s) during decode", n)
 	}
 	results := c.Results()
-	if err := sweep.WriteTable(os.Stdout, results, experiments.CPUCycleNS, csv); err != nil {
+	if err := sweep.WriteTable(os.Stdout, results, experiments.CPUCycleNS, co.csv); err != nil {
 		log.Fatal(err)
 	}
 	if runErr != nil {
 		done, total := c.Done()
 		msg := fmt.Sprintf("interrupted: %d of %d points done", done, total)
-		if ckptPath != "" {
+		if co.ckptPath != "" {
 			msg += "; rerun with -resume to continue"
 		} else {
 			msg += "; use -checkpoint to make sweeps resumable"

@@ -1,0 +1,274 @@
+package coord_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlcache/internal/coord"
+	"mlcache/internal/coord/chaos"
+	"mlcache/internal/cpu"
+	"mlcache/internal/experiments"
+	"mlcache/internal/store"
+	"mlcache/internal/sweep"
+	"mlcache/internal/trace"
+)
+
+// Artifact-distribution chaos tests: the workers share no filesystem with
+// the coordinator — the job names its trace only by digest, and each
+// worker must fetch it from the coordinator's /artifacts/ endpoint into
+// its own cache before it can simulate. The invariant is unchanged from
+// the protocol chaos tests: whatever the transfer schedule does (drops,
+// torn bodies, throttling, a worker killed mid-download), the merged CSV
+// is byte-identical to a single-process run over the same artifact.
+
+// publishArtifact materializes the chaos workload into an .mlca artifact
+// and returns its path, digest, and header CRC.
+func publishArtifact(t *testing.T, refs int64) (string, store.Digest, uint32) {
+	t.Helper()
+	arena, err := trace.Materialize(experiments.Options{Seed: 1, Refs: refs}.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "workload.mlca")
+	if err := trace.WriteArtifact(path, arena); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := store.DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc, err := trace.ArtifactChecksum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, d, crc
+}
+
+// artifactFleetWorker is a fleetWorker plus transfer knobs.
+type artifactFleetWorker struct {
+	fleetWorker
+	throttleBPS int64
+	cacheBytes  int64 // 0 = default budget
+}
+
+// runArtifactFleet is runFleet with the store mounted: the coordinator
+// serves its artifact at /artifacts/ (counting GETs), and every worker
+// gets a private cache directory — no path in the JobSpec, no shared
+// disk. Returns the merged CSV, per-point merge counts, artifact GET
+// count, and each worker's cache for post-run inspection.
+func runArtifactFleet(t *testing.T, cfg coord.Config, src store.Resolver, fleet []artifactFleetWorker) (string, map[string]int, int64, []*store.Cache) {
+	t.Helper()
+	var mergeMu sync.Mutex
+	merges := map[string]int{}
+	cfg.OnResult = func(pt sweep.Point, run cpu.Result) {
+		mergeMu.Lock()
+		merges[pt.String()]++
+		mergeMu.Unlock()
+	}
+	c, err := coord.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gets atomic.Int64
+	storeHandler := &store.Handler{Source: src}
+	root := http.NewServeMux()
+	root.Handle(store.PathArtifacts, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			gets.Add(1)
+		}
+		storeHandler.ServeHTTP(w, r)
+	}))
+	root.Handle("/", c.Handler())
+	srv := httptest.NewServer(root)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	go c.Run(ctx)
+
+	caches := make([]*store.Cache, len(fleet))
+	var wg sync.WaitGroup
+	errs := make([]error, len(fleet))
+	for i, fw := range fleet {
+		cache, err := store.NewCache(t.TempDir(), fw.cacheBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = cache
+		wctx, wcancel := context.WithCancel(ctx)
+		defer wcancel()
+		tr := &chaos.Transport{Rules: fw.rules}
+		if fw.kill {
+			tr.OnFire = func(chaos.Rule, *http.Request) { wcancel() }
+		}
+		w := &coord.Worker{
+			ID:               fw.id,
+			Coordinator:      srv.URL,
+			Client:           &http.Client{Transport: tr},
+			Parallelism:      1,
+			Artifacts:        cache,
+			FetchThrottleBPS: fw.throttleBPS,
+			Logf:             t.Logf,
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(wctx)
+		}(i)
+	}
+
+	if err := c.Wait(ctx); err != nil {
+		done, total := c.Done()
+		t.Fatalf("grid never completed (%d/%d points): %v", done, total, err)
+	}
+	wg.Wait()
+	for i, fw := range fleet {
+		if !fw.kill && errs[i] != nil {
+			t.Errorf("worker %s exited with error: %v", fw.id, errs[i])
+		}
+	}
+	mergeMu.Lock()
+	defer mergeMu.Unlock()
+	counts := make(map[string]int, len(merges))
+	for k, v := range merges {
+		counts[k] = v
+	}
+	return renderCSV(t, c.Results()), counts, gets.Load(), caches
+}
+
+// artifactChaosSpecs returns the distributed (digest-only) spec and the
+// single-process reference spec (path-only) over the same artifact.
+func artifactChaosSpecs(path string, d store.Digest, crc uint32) (coord.JobSpec, coord.JobSpec) {
+	spec := chaosSpec()
+	spec.Refs = 0
+	spec.Seed = 0
+	dist := spec
+	dist.ArtifactDigest = d.String()
+	dist.ArtifactCRC = crc
+	ref := spec
+	ref.TracePath = path
+	return dist, ref
+}
+
+func TestArtifactDistributionMatchesSingleProcess(t *testing.T) {
+	path, d, crc := publishArtifact(t, 20000)
+	dist, ref := artifactChaosSpecs(path, d, crc)
+	want := renderCSV(t, referenceRun(t, ref))
+
+	got, counts, gets, caches := runArtifactFleet(t,
+		coord.Config{Job: dist, Shards: 3, LeaseTTL: 2 * time.Second},
+		store.Static{d: path},
+		[]artifactFleetWorker{
+			{fleetWorker: fleetWorker{id: "w1"}},
+			{fleetWorker: fleetWorker{id: "w2"}},
+		})
+	if got != want {
+		t.Errorf("distributed-over-store CSV differs from single-process run:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	assertMergedOnce(t, dist, counts, nil)
+	// One download per worker: each fetched once into its private cache.
+	if gets != 2 {
+		t.Errorf("%d artifact GETs, want 2 (one per worker)", gets)
+	}
+	for i, cache := range caches {
+		if _, ok := cache.Path(d); !ok {
+			t.Errorf("worker %d cache does not hold the artifact after the run", i)
+		}
+	}
+}
+
+func TestArtifactDistributionSurvivesTornAndSlowTransfers(t *testing.T) {
+	path, d, crc := publishArtifact(t, 20000)
+	dist, ref := artifactChaosSpecs(path, d, crc)
+	want := renderCSV(t, referenceRun(t, ref))
+
+	// w1's first download tears mid-body (the retry must resume with a
+	// Range request, and the spliced file must still verify); w2's
+	// transfers crawl behind a throttle and a delay.
+	got, counts, _, _ := runArtifactFleet(t,
+		coord.Config{Job: dist, Shards: 3, LeaseTTL: 2 * time.Second},
+		store.Static{d: path},
+		[]artifactFleetWorker{
+			{fleetWorker: fleetWorker{id: "w1", rules: []chaos.Rule{
+				{Prefix: store.PathArtifacts, From: 1, Mode: chaos.Torn},
+			}}},
+			{fleetWorker: fleetWorker{id: "w2", rules: []chaos.Rule{
+				{Prefix: store.PathArtifacts, From: 1, To: -1, Mode: chaos.Delay, Delay: 100 * time.Millisecond},
+			}}, throttleBPS: 1 << 20},
+		})
+	if got != want {
+		t.Errorf("CSV under torn/slow transfers differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	assertMergedOnce(t, dist, counts, nil)
+}
+
+func TestArtifactDistributionSurvivesDroppedTransfers(t *testing.T) {
+	path, d, crc := publishArtifact(t, 20000)
+	dist, ref := artifactChaosSpecs(path, d, crc)
+	want := renderCSV(t, referenceRun(t, ref))
+
+	// Both workers lose their first two download attempts outright; the
+	// store client's backoff retries carry them through.
+	rules := []chaos.Rule{{Prefix: store.PathArtifacts, From: 1, To: 2, Mode: chaos.Drop}}
+	got, counts, _, _ := runArtifactFleet(t,
+		coord.Config{Job: dist, Shards: 3, LeaseTTL: 2 * time.Second},
+		store.Static{d: path},
+		[]artifactFleetWorker{
+			{fleetWorker: fleetWorker{id: "w1", rules: rules}},
+			{fleetWorker: fleetWorker{id: "w2", rules: rules}},
+		})
+	if got != want {
+		t.Errorf("CSV under dropped transfers differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	assertMergedOnce(t, dist, counts, nil)
+}
+
+func TestArtifactDistributionSurvivesWorkerKilledMidFetch(t *testing.T) {
+	path, d, crc := publishArtifact(t, 20000)
+	dist, ref := artifactChaosSpecs(path, d, crc)
+	want := renderCSV(t, referenceRun(t, ref))
+
+	// w1 dies the instant it touches the artifact endpoint — before it
+	// ever leases a shard. The grid must complete entirely on w2, and
+	// w1's cache directory must hold no committed object.
+	got, counts, _, caches := runArtifactFleet(t,
+		coord.Config{
+			Job: dist, Shards: 3,
+			LeaseTTL: 300 * time.Millisecond, Heartbeat: 60 * time.Millisecond,
+			RetryBase: 50 * time.Millisecond, RetryMax: 500 * time.Millisecond,
+		},
+		store.Static{d: path},
+		[]artifactFleetWorker{
+			{fleetWorker: fleetWorker{id: "w1", kill: true, rules: []chaos.Rule{
+				{Prefix: store.PathArtifacts, From: 1, To: -1, Mode: chaos.Down},
+			}}},
+			{fleetWorker: fleetWorker{id: "w2"}},
+		})
+	if got != want {
+		t.Errorf("CSV after worker killed mid-fetch differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	assertMergedOnce(t, dist, counts, nil)
+	if _, ok := caches[0].Path(d); ok {
+		t.Error("killed worker's cache committed an object it never verified")
+	}
+}
+
+func TestWorkerWithoutCacheRejectsDigestJob(t *testing.T) {
+	path, d, crc := publishArtifact(t, 5000)
+	dist, _ := artifactChaosSpecs(path, d, crc)
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// NewRunner on an unresolved digest-only spec must fail loudly, not
+	// fall back to a synthetic workload.
+	if _, _, err := dist.NewRunner(); err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("NewRunner on digest-only spec: %v", err)
+	}
+}

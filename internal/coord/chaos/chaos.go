@@ -50,15 +50,29 @@ func (m Mode) String() string {
 }
 
 // Rule injects one fault pattern. Requests whose URL path ends in Path
-// ("" matches everything) are counted per rule; the rule fires on match
-// numbers From..To inclusive (1-based; To == 0 means To = From, a single
-// shot; To < 0 means forever).
+// ("" matches everything) are counted per rule; Prefix instead matches
+// the start of the path, which is how the artifact transfer endpoints
+// (/artifacts/{digest}) are targeted without naming a digest. When both
+// are set the path must satisfy both. The rule fires on match numbers
+// From..To inclusive (1-based; To == 0 means To = From, a single shot;
+// To < 0 means forever).
 type Rule struct {
-	Path  string
-	From  int
-	To    int
-	Mode  Mode
-	Delay time.Duration
+	Path   string
+	Prefix string
+	From   int
+	To     int
+	Mode   Mode
+	Delay  time.Duration
+}
+
+func (r Rule) matches(path string) bool {
+	if r.Path != "" && !strings.HasSuffix(path, r.Path) {
+		return false
+	}
+	if r.Prefix != "" && !strings.HasPrefix(path, r.Prefix) {
+		return false
+	}
+	return true
 }
 
 func (r Rule) fires(n int) bool {
@@ -112,7 +126,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	var fired *Rule
 	for i := range t.Rules {
 		r := &t.Rules[i]
-		if r.Path != "" && !strings.HasSuffix(req.URL.Path, r.Path) {
+		if !r.matches(req.URL.Path) {
 			continue
 		}
 		t.counts[i]++

@@ -20,6 +20,7 @@ import (
 	"mlcache/internal/experiments"
 	"mlcache/internal/mainmem"
 	"mlcache/internal/memsys"
+	"mlcache/internal/store"
 	"mlcache/internal/sweep"
 	"mlcache/internal/trace"
 )
@@ -46,6 +47,15 @@ type JobSpec struct {
 	TracePath string `json:"trace_path,omitempty"`
 	Refs      int64  `json:"refs"`
 	Seed      int64  `json:"seed"`
+	// ArtifactDigest names the trace by content ("sha256:<hex>") instead of
+	// by filesystem path: a worker that doesn't share a disk with the
+	// coordinator fetches it from the artifact store into its local cache.
+	// When both digest and TracePath are set, the path is a local hint for
+	// processes that already have the file; the digest is authoritative.
+	// ArtifactCRC carries the artifact header's CRC-32C as the cheap
+	// pre-check for already-cached copies (0 = unknown).
+	ArtifactDigest string `json:"artifact_digest,omitempty"`
+	ArtifactCRC    uint32 `json:"artifact_crc32c,omitempty"`
 	// Lenient, for non-artifact trace files, is the corrupt-record skip
 	// budget passed to trace.Lenient (0 = strict). The skip count decoded
 	// on each worker surfaces in its reports.
@@ -88,13 +98,35 @@ func (s JobSpec) Validate() error {
 	if s.L1KB <= 0 {
 		return fmt.Errorf("coord: L1 size %d KB must be positive", s.L1KB)
 	}
-	if s.TracePath == "" && s.Refs <= 0 {
+	if s.TracePath == "" && s.ArtifactDigest == "" && s.Refs <= 0 {
 		return fmt.Errorf("coord: synthetic workload needs a positive reference count")
+	}
+	if s.ArtifactDigest != "" {
+		if _, err := store.ParseDigest(s.ArtifactDigest); err != nil {
+			return err
+		}
 	}
 	if _, err := sweep.ParsePlanMode(s.Plan); err != nil {
 		return err
 	}
 	return nil
+}
+
+// Digest parses the spec's artifact digest; the zero Digest when unset.
+// Validate has already vetted the string wherever a spec crossed a trust
+// boundary.
+func (s JobSpec) Digest() store.Digest {
+	if s.ArtifactDigest == "" {
+		return store.Digest{}
+	}
+	d, _ := store.ParseDigest(s.ArtifactDigest)
+	return d
+}
+
+// errUnresolvedDigest explains the one spec shape local construction
+// cannot serve: content-addressed, with no local copy resolved yet.
+func (s JobSpec) errUnresolvedDigest() error {
+	return fmt.Errorf("coord: job names its trace by digest %s but no local path is resolved; fetch it through a store cache first", s.ArtifactDigest)
 }
 
 // Grid returns the job's sweep grid.
@@ -131,6 +163,9 @@ func (r *Resources) Close() error {
 func (s JobSpec) NewRunner() (sweep.Runner, *Resources, error) {
 	if err := s.Validate(); err != nil {
 		return sweep.Runner{}, nil, err
+	}
+	if s.TracePath == "" && s.ArtifactDigest != "" {
+		return sweep.Runner{}, nil, s.errUnresolvedDigest()
 	}
 	if s.TracePath == "" {
 		// Synthetic workloads stay lazy here: the sweep engine materializes
@@ -194,6 +229,9 @@ func (s JobSpec) RunnerFor(arena *trace.Arena) sweep.Runner {
 func (s JobSpec) MaterializeArena() (*trace.Arena, io.Closer, int64, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, 0, err
+	}
+	if s.TracePath == "" && s.ArtifactDigest != "" {
+		return nil, nil, 0, s.errUnresolvedDigest()
 	}
 	if s.TracePath == "" {
 		opt := experiments.Options{Seed: s.Seed, Refs: s.Refs}

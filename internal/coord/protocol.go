@@ -6,7 +6,9 @@ import (
 
 // ProtocolVersion is bumped on any incompatible change to the wire types;
 // a worker refuses to join a coordinator speaking a different version.
-const ProtocolVersion = 1
+// v2 added content-addressed traces (JobSpec.ArtifactDigest): a v1 worker
+// cannot honor a digest-only spec, so the version gate keeps it out.
+const ProtocolVersion = 2
 
 // Endpoint paths. All endpoints are POST with JSON bodies and JSON
 // responses; every request is idempotent, so a client that saw a torn or

@@ -10,10 +10,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
+	"mlcache/internal/store"
 	"mlcache/internal/sweep"
+	"mlcache/internal/trace"
 )
 
 // Worker joins a coordinator, builds the job's runner locally, and loops:
@@ -41,6 +44,14 @@ type Worker struct {
 	// Run returns the error — from the coordinator's side it died, and
 	// its shards are reassigned.
 	RequestRetries int
+	// Artifacts is the local content-addressed cache backing jobs whose
+	// spec names the trace by digest. Fetches go to the coordinator's
+	// /artifacts/ endpoint over the same Client (same TLS and auth). A nil
+	// cache limits the worker to path- or synthetic-trace jobs.
+	Artifacts *store.Cache
+	// FetchThrottleBPS caps artifact download throughput (0 = unlimited);
+	// a fault-injection knob for the transfer chaos tests.
+	FetchThrottleBPS int64
 	// Logf receives operational events; nil means silent.
 	Logf func(format string, args ...any)
 
@@ -89,11 +100,11 @@ func (w *Worker) Run(ctx context.Context) error {
 	if reg.Version != ProtocolVersion {
 		return fmt.Errorf("coord: coordinator speaks protocol v%d, this worker v%d", reg.Version, ProtocolVersion)
 	}
-	runner, res, err := reg.Job.NewRunner()
+	runner, traceSkipped, cleanup, err := w.buildRunner(ctx, reg.Job)
 	if err != nil {
 		return fmt.Errorf("coord: building runner from job spec: %w", err)
 	}
-	defer res.Close()
+	defer cleanup()
 	all := reg.Job.Points()
 	w.logf("worker %s: joined %s: %d grid points in %d shards", w.ID, w.Coordinator, len(all), reg.Shards)
 
@@ -120,7 +131,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			case <-time.After(wait):
 			}
 		default:
-			gridDone, err := w.runShard(ctx, runner, all, lr, reg, res.TraceSkipped, retries)
+			gridDone, err := w.runShard(ctx, runner, all, lr, reg, traceSkipped, retries)
 			if err != nil {
 				return err
 			}
@@ -130,6 +141,47 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 		}
 	}
+}
+
+// buildRunner constructs the job's sweep runner. A spec that names its
+// trace by digest resolves through the worker's artifact cache — fetched
+// from the coordinator's own /artifacts/ endpoint, verified, and pinned
+// for the life of the run — unless the spec's TracePath hint already
+// exists locally (shared-filesystem deployments skip the transfer). All
+// other specs go through JobSpec.NewRunner unchanged.
+func (w *Worker) buildRunner(ctx context.Context, job JobSpec) (sweep.Runner, int64, func(), error) {
+	d := job.Digest()
+	if !d.IsZero() && job.TracePath != "" {
+		if _, err := os.Stat(job.TracePath); err == nil {
+			d = store.Digest{} // local hint wins; no transfer needed
+		}
+	}
+	if d.IsZero() {
+		runner, res, err := job.NewRunner()
+		if err != nil {
+			return sweep.Runner{}, 0, nil, err
+		}
+		return runner, res.TraceSkipped, func() { res.Close() }, nil
+	}
+	if w.Artifacts == nil {
+		return sweep.Runner{}, 0, nil, fmt.Errorf("job trace is content-addressed (%s) but this worker has no artifact cache; run it with one", d)
+	}
+	src := &store.Client{
+		Base:        w.Coordinator,
+		HTTPClient:  w.Client,
+		ThrottleBPS: w.FetchThrottleBPS,
+		Logf:        w.Logf,
+	}
+	art, err := w.Artifacts.Open(ctx, src, d, job.ArtifactCRC)
+	if err != nil {
+		return sweep.Runner{}, 0, nil, fmt.Errorf("fetching artifact %s: %w", d, err)
+	}
+	arena := art.Arena()
+	if job.Refs > 0 && int64(arena.Len()) > job.Refs {
+		arena = trace.NewArena(arena.Refs()[:job.Refs])
+	}
+	// The pin holds the mmap against cache eviction until the run ends.
+	return job.RunnerFor(arena), 0, art.Unpin, nil
 }
 
 // runShard simulates one leased shard. Completed points stream to the

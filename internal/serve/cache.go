@@ -16,14 +16,22 @@ import (
 const refBytes = 16
 
 // WorkloadKey returns the cache identity of a job's workload: everything
-// that determines the materialized arena's contents. Synthetic workloads
-// are identified by generator parameters; artifact files by path plus the
-// header's CRC-32C of the record region, so a rewritten artifact at the
-// same path is a different workload; other codecs fall back to path plus
-// size and mtime (reading the whole file to hash it would cost as much as
-// the decode the cache exists to avoid). The reference cap and lenient
-// budget are part of the identity because both change the decoded arena.
+// that determines the materialized arena's contents. Content-addressed
+// workloads are identified by their digest — the strongest key there is,
+// and path-free, so the same artifact resolved to different local paths
+// (or republished after a store move) still shares one arena. Synthetic
+// workloads are identified by generator parameters; artifact files by
+// path plus the header's CRC-32C of the record region, so a rewritten
+// artifact at the same path is a different workload; other codecs fall
+// back to path plus size and mtime (reading the whole file to hash it
+// would cost as much as the decode the cache exists to avoid). The
+// reference cap and lenient budget are part of the identity because both
+// change the decoded arena.
 func WorkloadKey(spec coord.JobSpec) (string, error) {
+	if spec.ArtifactDigest != "" {
+		return fmt.Sprintf("cas|%s|refs=%d|lenient=%d",
+			spec.ArtifactDigest, spec.Refs, spec.Lenient), nil
+	}
 	if spec.TracePath == "" {
 		return fmt.Sprintf("synth|seed=%d|refs=%d", spec.Seed, spec.Refs), nil
 	}

@@ -46,6 +46,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ import (
 	"mlcache/internal/cpu"
 	"mlcache/internal/experiments"
 	"mlcache/internal/memsys"
+	"mlcache/internal/store"
 	"mlcache/internal/sweep"
 )
 
@@ -83,6 +85,12 @@ type Config struct {
 	// StateDir, when non-empty, makes the server durable: per-point
 	// results and job state are journaled there and replayed on restart.
 	StateDir string
+	// ArtifactDir, when non-empty, makes the server an artifact origin: a
+	// content-addressed store directory served (and accepting publishes)
+	// at /artifacts/, and the resolver for jobs that name their trace by
+	// ArtifactDigest instead of a path. Tenant authentication, when
+	// configured, covers the artifact endpoints too.
+	ArtifactDir string
 	// JournalMaxBytes is the journal segment rotation threshold
 	// (default 64 MiB).
 	JournalMaxBytes int64
@@ -121,13 +129,14 @@ func (c Config) maxQueue() int {
 // Server is the resident sweep service. Create with New, mount Handler on
 // an http.Server, call Drain on shutdown (and Close once drained).
 type Server struct {
-	cfg     Config
-	arenas  *ArenaCache
-	pool    *memsys.Pool
-	results *resultCache
-	metrics *metrics
-	queue   *fairQueue
-	durable *durable
+	cfg       Config
+	arenas    *ArenaCache
+	pool      *memsys.Pool
+	results   *resultCache
+	metrics   *metrics
+	queue     *fairQueue
+	durable   *durable
+	artifacts *store.FileStore
 
 	// byKey/byName index the runtime tenants; sorted is the stable order
 	// for /metrics. anon is the single open-access tenant when no tenant
@@ -185,6 +194,13 @@ func New(cfg Config) (*Server, error) {
 		})
 		s.byName[s.anon.name] = s.anon
 		s.sorted = []*tenant{s.anon}
+	}
+	if cfg.ArtifactDir != "" {
+		fs, err := store.OpenFileStore(cfg.ArtifactDir)
+		if err != nil {
+			return nil, err
+		}
+		s.artifacts = fs
 	}
 	if cfg.StateDir != "" {
 		d, resultsSet, jobsSet, err := openDurable(cfg.StateDir, cfg.JournalMaxBytes)
@@ -246,7 +262,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.artifacts != nil {
+		mux.Handle(store.PathArtifacts, s.requireTenant(&store.Handler{
+			Source: s.artifacts, Uploads: s.artifacts, Logf: s.cfg.Logf,
+		}))
+	}
 	return mux
+}
+
+// requireTenant gates h behind the tenant API-key table; open-access
+// servers (no tenant table) pass through.
+func (s *Server) requireTenant(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := s.authTenant(w, r); !ok {
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // Drain puts the server into shutdown mode: /healthz turns 503 so load
@@ -502,6 +534,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if spec.Plan == "" {
 		spec.Plan = s.cfg.DefaultPlan
 	}
+	if err := s.resolveArtifact(&spec); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
 	asCSV := false
 	if v := r.URL.Query().Get("csv"); v != "" && v != "0" && v != "false" {
 		asCSV = true
@@ -559,6 +595,35 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("workload: %v", err), http.StatusBadRequest)
 	})
 	s.journalJob(jobID, spec, status)
+}
+
+// resolveArtifact rewrites a content-addressed spec to a local path: an
+// already-valid TracePath hint wins (shared filesystem), otherwise the
+// digest must name an object published to this server's artifact store.
+// Resolution happens before journaling, so a replayed job re-runs against
+// the same committed object. A no-op for path and synthetic specs.
+func (s *Server) resolveArtifact(spec *coord.JobSpec) error {
+	if spec.ArtifactDigest == "" {
+		return nil
+	}
+	d, err := store.ParseDigest(spec.ArtifactDigest)
+	if err != nil {
+		return err // unreachable past Validate; defensive
+	}
+	if spec.TracePath != "" {
+		if _, err := os.Stat(spec.TracePath); err == nil {
+			return nil
+		}
+	}
+	if s.artifacts == nil {
+		return fmt.Errorf("job names trace by digest %s but this server has no artifact store (-artifact-store)", d)
+	}
+	path, err := s.artifacts.Resolve(d)
+	if err != nil {
+		return fmt.Errorf("artifact %s not published to this server: PUT it to %s%s first", d, store.PathArtifacts, d)
+	}
+	spec.TracePath = path
+	return nil
 }
 
 // journalJob records a job-state transition; journal trouble degrades

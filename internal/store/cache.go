@@ -1,0 +1,337 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mlcache/internal/trace"
+)
+
+// Cache is a worker's local artifact cache: a size-bounded directory of
+// verified, content-named artifacts fetched on demand. Fetches for the
+// same digest coalesce (N sweep workers on one box download once),
+// downloads stage through a partial file and verify the digest before an
+// atomic rename commits them (a crash or mismatch never leaves a
+// committed half-object), and eviction is LRU over committed bytes —
+// skipping any artifact whose mmap is pinned by live readers
+// (trace.Artifact Pin/Unpin), so a simulation can never lose its pages.
+type Cache struct {
+	dir    string
+	budget int64
+
+	mu      sync.Mutex
+	entries map[Digest]*cacheEntry
+	flights map[Digest]*flight
+	used    int64
+	seq     int64 // LRU clock: bumped on every touch
+
+	hits, fetches, evictions int64
+
+	// Logf receives cache events; nil means silent. Set before first use.
+	Logf func(format string, args ...any)
+}
+
+// cacheEntry is one committed artifact.
+type cacheEntry struct {
+	digest Digest
+	path   string
+	size   int64
+	used   int64 // seq of last touch
+	// artifact is the shared open mmap once some caller used Open; the
+	// cache owns closing it (on eviction), callers own Pin/Unpin.
+	artifact *trace.Artifact
+}
+
+// flight is one in-progress fetch; latecomers wait on done.
+type flight struct {
+	done chan struct{}
+	path string
+	err  error
+}
+
+// CacheStats is a snapshot of cache traffic and occupancy.
+type CacheStats struct {
+	Hits      int64
+	Fetches   int64
+	Evictions int64
+	Bytes     int64
+	Entries   int
+}
+
+// NewCache opens (creating if needed) a cache directory bounded to
+// budgetBytes of committed artifacts (<= 0 means 4 GiB). Committed
+// objects from previous processes are adopted warm; partials from a
+// crashed fetch are swept.
+func NewCache(dir string, budgetBytes int64) (*Cache, error) {
+	if budgetBytes <= 0 {
+		budgetBytes = 4 << 30
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: cache: %w", err)
+	}
+	c := &Cache{
+		dir:     dir,
+		budget:  budgetBytes,
+		entries: map[Digest]*cacheEntry{},
+		flights: map[Digest]*flight{},
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: cache: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".partial") || strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		hexName, ok := strings.CutSuffix(name, objectSuffix)
+		if !ok {
+			continue
+		}
+		d, err := parseHex(hexName)
+		if err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c.seq++
+		c.entries[d] = &cacheEntry{digest: d, path: filepath.Join(dir, name), size: info.Size(), used: c.seq}
+		c.used += info.Size()
+	}
+	return c, nil
+}
+
+func (c *Cache) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) objectPath(d Digest) string {
+	return filepath.Join(c.dir, d.Hex()+objectSuffix)
+}
+
+// Path reports the committed local path for d, if resident.
+func (c *Cache) Path(d Digest) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[d]
+	if !ok {
+		return "", false
+	}
+	c.touchLocked(e)
+	return e.path, true
+}
+
+func (c *Cache) touchLocked(e *cacheEntry) {
+	c.seq++
+	e.used = c.seq
+}
+
+// Fetch returns a committed local path for artifact d, downloading it
+// via src on a miss. wantCRC, when nonzero, is the artifact header's
+// CRC-32C fast pre-check: a resident file whose header disagrees is
+// discarded and refetched instead of trusted (32-byte read vs a full
+// re-hash). Concurrent fetches of one digest coalesce into a single
+// download.
+func (c *Cache) Fetch(ctx context.Context, src *Client, d Digest, wantCRC uint32) (string, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 4 {
+			return "", fmt.Errorf("store: cache: %s unstable after %d attempts", d, attempt)
+		}
+		c.mu.Lock()
+		if e, ok := c.entries[d]; ok {
+			c.touchLocked(e)
+			c.hits++
+			path := e.path
+			c.mu.Unlock()
+			if wantCRC != 0 {
+				if crc, err := trace.ArtifactChecksum(path); err != nil || crc != wantCRC {
+					c.logf("store: cache: %s fails header pre-check (crc %08x, want %08x); refetching",
+						d, crc, wantCRC)
+					c.Discard(d)
+					continue
+				}
+			}
+			return path, nil
+		}
+		if fl, ok := c.flights[d]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+			if fl.err != nil {
+				// The flight's owner failed; this waiter retries as owner.
+				continue
+			}
+			return fl.path, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.flights[d] = fl
+		c.mu.Unlock()
+
+		path, err := c.download(ctx, src, d)
+		fl.path, fl.err = path, err
+		c.mu.Lock()
+		delete(c.flights, d)
+		c.mu.Unlock()
+		close(fl.done)
+		return path, err
+	}
+}
+
+// download performs the staged fetch-verify-commit for one digest.
+func (c *Cache) download(ctx context.Context, src *Client, d Digest) (string, error) {
+	partial := c.objectPath(d) + ".partial"
+	size, err := src.Fetch(ctx, d, partial)
+	if err != nil {
+		return "", err // Fetch removed the partial on final failure
+	}
+	final := c.objectPath(d)
+	if err := os.Rename(partial, final); err != nil {
+		os.Remove(partial)
+		return "", fmt.Errorf("store: cache: %w", err)
+	}
+	syncDir(c.dir)
+
+	c.mu.Lock()
+	c.fetches++
+	c.seq++
+	c.entries[d] = &cacheEntry{digest: d, path: final, size: size, used: c.seq}
+	c.used += size
+	c.evictLocked()
+	c.mu.Unlock()
+	c.logf("store: cache: fetched %s (%d bytes)", d, size)
+	return final, nil
+}
+
+// Open returns the shared open artifact for d, fetching it first if
+// needed. The artifact comes back pinned: the caller must Unpin when its
+// cursors are done, after which the cache is free to evict (close +
+// delete) it under budget pressure. Repeated Opens of one digest share a
+// single mmap.
+func (c *Cache) Open(ctx context.Context, src *Client, d Digest, wantCRC uint32) (*trace.Artifact, error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 4 {
+			return nil, fmt.Errorf("store: cache: %s unstable after %d attempts", d, attempt)
+		}
+		path, err := c.Fetch(ctx, src, d, wantCRC)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		e, ok := c.entries[d]
+		if !ok || e.path != path {
+			// Evicted or replaced between Fetch and here; refetch.
+			c.mu.Unlock()
+			continue
+		}
+		if e.artifact != nil {
+			if err := e.artifact.Pin(); err == nil {
+				c.touchLocked(e)
+				c.mu.Unlock()
+				return e.artifact, nil
+			}
+			// Closed under us (eviction race); reopen below.
+			e.artifact = nil
+		}
+		c.mu.Unlock()
+		art, err := trace.OpenArtifact(path)
+		if err != nil {
+			// The committed file went bad on disk (bit rot, truncation):
+			// discard and refetch rather than failing the worker outright.
+			if errors.Is(err, trace.ErrCorrupt) {
+				c.logf("store: cache: %s corrupt on open (%v); refetching", d, err)
+				c.Discard(d)
+				continue
+			}
+			return nil, err
+		}
+		if err := art.Pin(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if e2, ok := c.entries[d]; ok && e2.artifact == nil {
+			e2.artifact = art
+			c.touchLocked(e2)
+		}
+		c.mu.Unlock()
+		return art, nil
+	}
+}
+
+// Discard drops d from the cache (file and open mmap) regardless of LRU
+// position. Pinned artifacts are left alone.
+func (c *Cache) Discard(d Digest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[d]; ok {
+		c.removeLocked(e)
+	}
+}
+
+// removeLocked evicts one entry; reports whether it actually went (a
+// pinned artifact refuses).
+func (c *Cache) removeLocked(e *cacheEntry) bool {
+	if e.artifact != nil {
+		if err := e.artifact.Close(); err != nil {
+			// ErrArtifactBusy: live readers; not evictable now.
+			return false
+		}
+		e.artifact = nil
+	}
+	delete(c.entries, e.digest)
+	c.used -= e.size
+	os.Remove(e.path)
+	return true
+}
+
+// evictLocked removes least-recently-used unpinned artifacts until the
+// committed bytes fit the budget.
+func (c *Cache) evictLocked() {
+	for c.used > c.budget {
+		var victim *cacheEntry
+		for _, e := range c.entries {
+			if e.artifact != nil && e.artifact.Pins() > 0 {
+				continue
+			}
+			if victim == nil || e.used < victim.used {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything pinned; budget restored as readers unpin
+		}
+		if !c.removeLocked(victim) {
+			return // pinned between check and close; try again next insert
+		}
+		c.evictions++
+		c.logf("store: cache: evicted %s (%d bytes)", victim.digest, victim.size)
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Fetches:   c.fetches,
+		Evictions: c.evictions,
+		Bytes:     c.used,
+		Entries:   len(c.entries),
+	}
+}

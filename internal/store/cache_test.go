@@ -1,0 +1,319 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mlcache/internal/trace"
+)
+
+// storeServer stands up an origin serving the given digest→path table and
+// counts GET requests per digest.
+func storeServer(t *testing.T, src Static) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var gets atomic.Int64
+	h := &Handler{Source: src}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			gets.Add(1)
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &gets
+}
+
+func TestCacheFetchHitAndWarmStart(t *testing.T) {
+	origin := t.TempDir()
+	path, d, crc := writeTestArtifact(t, origin, 300, 10)
+	srv, gets := storeServer(t, Static{d: path})
+	cl := &Client{Base: srv.URL}
+
+	dir := t.TempDir()
+	c, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Fetch(context.Background(), cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Fetch(context.Background(), cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 || gets.Load() != 1 {
+		t.Fatalf("second Fetch missed: %s vs %s, %d GETs", p1, p2, gets.Load())
+	}
+	want, _ := os.ReadFile(path)
+	got, _ := os.ReadFile(p1)
+	if !bytes.Equal(got, want) {
+		t.Fatal("cached bytes differ from origin")
+	}
+	st := c.Stats()
+	if st.Fetches != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// A fresh Cache over the same directory adopts the committed object
+	// without refetching.
+	c2, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Fetch(context.Background(), cl, d, crc); err != nil {
+		t.Fatal(err)
+	}
+	if gets.Load() != 1 {
+		t.Fatalf("warm start refetched: %d GETs", gets.Load())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	origin := t.TempDir()
+	type obj struct {
+		d   Digest
+		crc uint32
+	}
+	var objs []obj
+	src := Static{}
+	var size int64
+	for i := 0; i < 4; i++ {
+		p, d, crc := writeTestArtifact(t, origin, 500, uint64(20+i))
+		st, _ := os.Stat(p)
+		size = st.Size()
+		src[d] = p
+		objs = append(objs, obj{d, crc})
+	}
+	srv, _ := storeServer(t, src)
+	cl := &Client{Base: srv.URL}
+
+	// Budget for two objects plus change: fetching four forces eviction.
+	c, err := NewCache(t.TempDir(), 2*size+size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, o := range objs {
+		if _, err := c.Fetch(ctx, cl, o.d, o.crc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 2 || st.Entries != 2 || st.Bytes > 2*size+size/2 {
+		t.Fatalf("stats %+v, want 2 evictions / 2 entries within budget", st)
+	}
+	// The survivors are the most recently used (the last two fetched).
+	if _, ok := c.Path(objs[0].d); ok {
+		t.Fatal("oldest entry survived LRU eviction")
+	}
+	if _, ok := c.Path(objs[3].d); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	// Evicted files are actually gone from disk.
+	ents, _ := os.ReadDir(c.Dir())
+	if len(ents) != 2 {
+		t.Fatalf("%d files on disk, want 2", len(ents))
+	}
+}
+
+func TestCachePinBlocksEviction(t *testing.T) {
+	origin := t.TempDir()
+	p0, d0, crc0 := writeTestArtifact(t, origin, 500, 30)
+	_, d1, crc1 := writeTestArtifact(t, origin, 500, 31)
+	_, d2, crc2 := writeTestArtifact(t, origin, 500, 32)
+	p1 := origin + "/t31.mlca"
+	p2 := origin + "/t32.mlca"
+	srv, _ := storeServer(t, Static{d0: p0, d1: p1, d2: p2})
+	cl := &Client{Base: srv.URL}
+	st0, _ := os.Stat(p0)
+	size := st0.Size()
+
+	// Budget for one object only.
+	c, err := NewCache(t.TempDir(), size+size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	art, err := c.Open(ctx, cl, d0, crc0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d0 is pinned: fetching two more must not evict it, even though it is
+	// the least recently used and the cache is over budget.
+	if _, err := c.Fetch(ctx, cl, d1, crc1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(ctx, cl, d2, crc2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Path(d0); !ok {
+		t.Fatal("pinned artifact was evicted")
+	}
+	if art.Len() != 500 {
+		t.Fatalf("pinned artifact unusable: %d refs", art.Len())
+	}
+	// Unpin: the next insert-triggered eviction may now take it.
+	art.Unpin()
+	_, d3, crc3 := writeTestArtifact(t, origin, 500, 33)
+	srvSrc := Static{d3: origin + "/t33.mlca"}
+	srv2, _ := storeServer(t, srvSrc)
+	if _, err := c.Fetch(ctx, &Client{Base: srv2.URL}, d3, crc3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Path(d0); ok {
+		t.Fatal("unpinned LRU artifact survived pressure")
+	}
+}
+
+func TestCacheOpenSharesMmap(t *testing.T) {
+	origin := t.TempDir()
+	path, d, crc := writeTestArtifact(t, origin, 100, 40)
+	srv, gets := storeServer(t, Static{d: path})
+	cl := &Client{Base: srv.URL}
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a1, err := c.Open(ctx, cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Open(ctx, cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("two Opens returned distinct artifacts")
+	}
+	if a1.Pins() != 2 {
+		t.Fatalf("pins %d, want 2", a1.Pins())
+	}
+	if gets.Load() != 1 {
+		t.Fatalf("%d GETs, want 1", gets.Load())
+	}
+	a1.Unpin()
+	a2.Unpin()
+}
+
+func TestCacheConcurrentFetchCoalesces(t *testing.T) {
+	origin := t.TempDir()
+	path, d, crc := writeTestArtifact(t, origin, 5000, 50)
+	srv, gets := storeServer(t, Static{d: path})
+	// Throttle so the flight stays open long enough for real overlap.
+	cl := &Client{Base: srv.URL, ThrottleBPS: 1 << 20}
+
+	c, err := NewCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	paths := make([]string, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths[i], errs[i] = c.Fetch(context.Background(), cl, d, crc)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if paths[i] != paths[0] {
+			t.Fatalf("worker %d got %s, want %s", i, paths[i], paths[0])
+		}
+	}
+	if n := gets.Load(); n != 1 {
+		t.Fatalf("%d GETs for %d concurrent fetches, want 1", n, workers)
+	}
+	if st := c.Stats(); st.Fetches != 1 {
+		t.Fatalf("stats %+v, want 1 fetch", st)
+	}
+}
+
+func TestCacheDigestMismatchLeavesNothing(t *testing.T) {
+	// Origin serves bytes that do not hash to the requested digest.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("wrong bytes entirely"))
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Retries: 2}
+	dir := t.TempDir()
+	c, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DigestBytes([]byte("the real artifact"))
+	if _, err := c.Fetch(context.Background(), cl, d, 0); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("want ErrDigestMismatch, got %v", err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		t.Errorf("mismatched fetch left %s behind", e.Name())
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats %+v after failed fetch", st)
+	}
+}
+
+func TestCacheSweepsPartialsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	bogus := filepath.Join(dir, strings.Repeat("ab", 32)+".mlca.partial")
+	if err := os.WriteFile(bogus, []byte("torn download"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(bogus); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("crashed partial not swept")
+	}
+}
+
+func TestCacheCRCPrecheckDiscardsStaleObject(t *testing.T) {
+	origin := t.TempDir()
+	path, d, crc := writeTestArtifact(t, origin, 200, 60)
+	srv, gets := storeServer(t, Static{d: path})
+	cl := &Client{Base: srv.URL}
+	dir := t.TempDir()
+	c, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p, err := c.Fetch(ctx, cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the committed object's header in place (simulated bit rot);
+	// the CRC pre-check on the next Fetch must discard and refetch.
+	buf, _ := os.ReadFile(p)
+	buf[12] ^= 0xFF
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Fetch(ctx, cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gets.Load() != 2 {
+		t.Fatalf("%d GETs, want refetch after pre-check failure", gets.Load())
+	}
+	if _, err := trace.OpenArtifact(p2); err != nil {
+		t.Fatalf("refetched object unusable: %v", err)
+	}
+}

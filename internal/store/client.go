@@ -1,0 +1,255 @@
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Client fetches and publishes artifacts against a store endpoint (a
+// coordinator or an mlcserve origin). Transfers retry transport faults,
+// 5xx, and torn bodies with capped exponential backoff, and a retried
+// download resumes from the bytes already on disk with a Range request
+// instead of starting over — the digest verification at the end makes
+// any splice of attempts either exactly the published bytes or an error.
+type Client struct {
+	// Base is the endpoint's base URL, e.g. "https://coord:9191".
+	Base string
+	// HTTPClient issues the requests; nil means http.DefaultClient. The
+	// chaos harness and the authenticated transport both plug in here.
+	HTTPClient *http.Client
+	// Retries bounds retransmissions per transfer (default 8).
+	Retries int
+	// ThrottleBPS caps download throughput in bytes per second (0 =
+	// unlimited). Chiefly a fault-injection knob: it widens the window in
+	// which a transfer is genuinely in flight, so kill-mid-fetch tests
+	// kill mid-fetch.
+	ThrottleBPS int64
+	// Logf receives transfer events; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 8
+}
+
+// URL returns the artifact's endpoint URL.
+func (c *Client) URL(d Digest) string {
+	return strings.TrimSuffix(c.Base, "/") + PathArtifacts + d.String()
+}
+
+// terminalFetchError marks a failure retrying cannot fix (404, auth).
+type terminalFetchError struct{ err error }
+
+func (e *terminalFetchError) Error() string { return e.err.Error() }
+func (e *terminalFetchError) Unwrap() error { return e.err }
+
+// Fetch downloads artifact d into the file at dst (created or resumed),
+// verifying the digest of the complete file before returning. On
+// verification failure the partial is truncated and the transfer
+// retried; once the retry budget is spent, dst is removed — a failed
+// fetch leaves no bytes behind to be mistaken for an object.
+func (c *Client) Fetch(ctx context.Context, d Digest, dst string) (size int64, err error) {
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		f.Close()
+		if err != nil {
+			os.Remove(dst)
+		}
+	}()
+
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= c.retries(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		}
+		n, err := c.fetchOnce(ctx, d, f)
+		if err == nil {
+			return n, nil
+		}
+		var te *terminalFetchError
+		if errors.As(err, &te) {
+			return 0, te.err
+		}
+		lastErr = err
+		c.logf("store: fetch %s attempt %d: %v", d, attempt+1, err)
+	}
+	return 0, fmt.Errorf("store: fetch %s failed after %d attempts: %w", d, c.retries()+1, lastErr)
+}
+
+// fetchOnce performs one transfer attempt against f, resuming from
+// whatever prefix a previous attempt left, then verifies the whole file.
+func (c *Client) fetchOnce(ctx context.Context, d Digest, f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	offset := st.Size()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.URL(d), nil)
+	if err != nil {
+		return 0, &terminalFetchError{err}
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Full body (the server ignored or never saw the Range): restart.
+		offset = 0
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+	case http.StatusPartialContent:
+		// Resuming from offset.
+	case http.StatusRequestedRangeNotSatisfiable:
+		// Our partial is at least as long as the object — almost certainly
+		// damage from a previous torn attempt. Restart clean.
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("store: %s: range %d- not satisfiable; restarting", d, offset)
+	case http.StatusNotFound, http.StatusUnauthorized, http.StatusForbidden:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return 0, &terminalFetchError{fmt.Errorf("store: fetch %s: %s: %s",
+			d, resp.Status, strings.TrimSpace(string(msg)))}
+	default:
+		return 0, fmt.Errorf("store: fetch %s: %s", d, resp.Status)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return 0, err
+	}
+	if _, err := c.copyThrottled(ctx, f, resp.Body); err != nil {
+		// Keep the valid prefix for the next attempt's Range resume.
+		return 0, fmt.Errorf("store: fetch %s: body: %w", d, err)
+	}
+
+	// Verify the complete file — resumed or not — against the digest.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return 0, err
+	}
+	var got Digest
+	h.Sum(got.sum[:0])
+	if got != d {
+		// Corrupt bytes can't be resumed around; scrap and refetch.
+		if err := f.Truncate(0); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("store: fetched %s but content hashes to %s: %w", d, got, ErrDigestMismatch)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// copyThrottled copies body to f, pacing to ThrottleBPS when set.
+func (c *Client) copyThrottled(ctx context.Context, f *os.File, body io.Reader) (int64, error) {
+	if c.ThrottleBPS <= 0 {
+		return io.Copy(f, body)
+	}
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	var total int64
+	start := time.Now()
+	for {
+		n, err := io.ReadFull(body, buf)
+		if n > 0 {
+			if _, werr := f.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+			// Sleep off any lead over the allowed rate.
+			ahead := time.Duration(float64(total)/float64(c.ThrottleBPS)*float64(time.Second)) - time.Since(start)
+			if ahead > 0 {
+				select {
+				case <-ctx.Done():
+					return total, ctx.Err()
+				case <-time.After(ahead):
+				}
+			}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// Push publishes a local file to the endpoint under digest d (PUT). The
+// server re-verifies the hash; a mismatch (local file changed since it
+// was digested) surfaces as ErrDigestMismatch.
+func (c *Client) Push(ctx context.Context, d Digest, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.URL(d), f)
+	if err != nil {
+		return err
+	}
+	req.ContentLength = st.Size()
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		err := fmt.Errorf("store: push %s: %s: %s", d, resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			return fmt.Errorf("%w (%w)", err, ErrDigestMismatch)
+		}
+		return err
+	}
+	return nil
+}

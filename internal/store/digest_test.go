@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	d := DigestBytes([]byte("hello, store"))
+	s := d.String()
+	if !strings.HasPrefix(s, DigestPrefix) || len(s) != len(DigestPrefix)+64 {
+		t.Fatalf("bad wire form %q", s)
+	}
+	got, err := ParseDigest(s)
+	if err != nil {
+		t.Fatalf("ParseDigest(%q): %v", s, err)
+	}
+	if got != d {
+		t.Fatalf("round trip changed digest: %s vs %s", got, d)
+	}
+	hx, err := parseHex(d.Hex())
+	if err != nil || hx != d {
+		t.Fatalf("hex round trip: %v, %s vs %s", err, hx, d)
+	}
+}
+
+func TestParseDigestStrict(t *testing.T) {
+	good := DigestBytes(nil).String()
+	bad := []string{
+		"",
+		"sha256:",
+		good[:len(good)-1],                     // truncated
+		good + "0",                             // too long
+		strings.ToUpper(good),                  // uppercase hex is an alias, rejected
+		"sha512:" + good[7:],                   // unknown algorithm
+		"sha256:" + strings.Repeat("g", 64),    // non-hex
+		"sha256:../" + strings.Repeat("0", 61), // traversal attempt
+		strings.Repeat("0", 64),                // missing prefix
+		"sha256:" + strings.Repeat("0", 63) + "\x00", // control byte
+	}
+	for _, s := range bad {
+		if _, err := ParseDigest(s); err == nil {
+			t.Errorf("ParseDigest(%q) accepted", s)
+		}
+	}
+}
+
+func TestDigestZero(t *testing.T) {
+	var d Digest
+	if !d.IsZero() {
+		t.Fatal("zero digest not IsZero")
+	}
+	if DigestBytes(nil).IsZero() {
+		t.Fatal("sha256 of empty input should not be the zero digest")
+	}
+}
+
+func TestDigestFileMatchesBytes(t *testing.T) {
+	dir := t.TempDir()
+	data := bytes.Repeat([]byte("mlca?"), 1000)
+	path := filepath.Join(dir, "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, n, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("size %d, want %d", n, len(data))
+	}
+	if d != DigestBytes(data) {
+		t.Fatalf("DigestFile %s != DigestBytes %s", d, DigestBytes(data))
+	}
+}

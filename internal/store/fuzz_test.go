@@ -1,0 +1,45 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDigestParse hammers the strict parser — the trust boundary between
+// the network and the filesystem — checking that everything it accepts
+// round-trips to itself canonically and contains nothing path-hostile,
+// and that the on-disk hex form agrees with the wire form.
+func FuzzDigestParse(f *testing.F) {
+	f.Add(DigestBytes(nil).String())
+	f.Add(DigestBytes([]byte("seed")).String())
+	f.Add("sha256:" + strings.Repeat("0", 64))
+	f.Add("sha256:" + strings.Repeat("f", 64))
+	f.Add("sha256:" + strings.Repeat("F", 64))
+	f.Add("sha512:" + strings.Repeat("0", 64))
+	f.Add("sha256:../../../etc/passwd")
+	f.Add("sha256:")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDigest(s)
+		if err != nil {
+			return
+		}
+		// Accepted input must be the canonical form, byte for byte.
+		if d.String() != s {
+			t.Fatalf("accepted %q but canonical form is %q", s, d.String())
+		}
+		hex := d.Hex()
+		if len(hex) != 64 || strings.ContainsAny(hex, "/\\.:") {
+			t.Fatalf("hex form %q unsafe as a file name", hex)
+		}
+		for _, c := range hex {
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				t.Fatalf("hex form %q has non-lowercase-hex byte %q", hex, c)
+			}
+		}
+		d2, err := parseHex(hex)
+		if err != nil || d2 != d {
+			t.Fatalf("hex round trip of %q: %v, %s", s, err, d2)
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mlcache/internal/trace"
+)
+
+// writeTestArtifact writes an n-reference MLCA artifact and returns its
+// path, digest, and header CRC.
+func writeTestArtifact(t *testing.T, dir string, n int, seed uint64) (string, Digest, uint32) {
+	t.Helper()
+	refs := make([]trace.Ref, n)
+	x := seed*2862933555777941757 + 3037000493
+	for i := range refs {
+		x = x*2862933555777941757 + 3037000493
+		refs[i] = trace.Ref{Addr: x &^ 0x3, Kind: trace.Kind(x >> 62 % 3)}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("t%d.mlca", seed))
+	if err := trace.WriteArtifact(path, trace.NewArena(refs)); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crc, err := trace.ArtifactChecksum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, d, crc
+}
+
+func TestFileStorePutVerifyAndReject(t *testing.T) {
+	fs, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the artifact bytes")
+	d := DigestBytes(data)
+
+	if _, err := fs.Put(bytes.NewReader(data), d); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	p, err := fs.Resolve(d)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	got, _ := os.ReadFile(p)
+	if !bytes.Equal(got, data) {
+		t.Fatal("stored bytes differ")
+	}
+
+	// Wrong bytes under a committed name: drained, existing object kept.
+	if _, err := fs.Put(bytes.NewReader([]byte("liar")), d); err != nil {
+		t.Fatalf("re-Put existing: %v", err)
+	}
+	got, _ = os.ReadFile(p)
+	if !bytes.Equal(got, data) {
+		t.Fatal("existing object was clobbered")
+	}
+
+	// Wrong bytes under a fresh name: ErrDigestMismatch, nothing committed.
+	bogus := DigestBytes([]byte("something else"))
+	if _, err := fs.Put(bytes.NewReader([]byte("liar")), bogus); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("want ErrDigestMismatch, got %v", err)
+	}
+	if _, err := fs.Resolve(bogus); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("mismatched upload was committed: %v", err)
+	}
+	ents, _ := os.ReadDir(fs.Dir())
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("staging file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestFileStoreSweepsTemps(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "put-123.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("crashed staging file not swept")
+	}
+}
+
+func TestHandlerServeRangeAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path, d, crc := writeTestArtifact(t, dir, 500, 1)
+	data, _ := os.ReadFile(path)
+	h := &Handler{Source: Static{d: path}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Full GET.
+	resp, err := http.Get(srv.URL + PathArtifacts + d.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, data) {
+		t.Fatalf("GET: %s, %d bytes (want %d)", resp.Status, len(body), len(data))
+	}
+	if got := resp.Header.Get(CRCHeader); got != fmt.Sprintf("%08x", crc) {
+		t.Fatalf("CRC header %q, want %08x", got, crc)
+	}
+
+	// Range resume from byte 100.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+PathArtifacts+d.String(), nil)
+	req.Header.Set("Range", "bytes=100-")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent || !bytes.Equal(body, data[100:]) {
+		t.Fatalf("Range GET: %s, %d bytes (want %d)", resp.Status, len(body), len(data)-100)
+	}
+
+	// Unknown digest: 404. Malformed digest: 400. PUT without uploads: 405.
+	for _, tc := range []struct {
+		method, tail string
+		want         int
+	}{
+		{http.MethodGet, DigestBytes([]byte("missing")).String(), http.StatusNotFound},
+		{http.MethodGet, "sha256:nothex", http.StatusBadRequest},
+		// %2F decodes to "/" in URL.Path, tripping the no-slash guard.
+		{http.MethodGet, "..%2F..%2Fetc%2Fpasswd", http.StatusNotFound},
+		{http.MethodPut, d.String(), http.StatusMethodNotAllowed},
+		{http.MethodDelete, d.String(), http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+PathArtifacts+tc.tail, strings.NewReader("x"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: got %s, want %d", tc.method, tc.tail, resp.Status, tc.want)
+		}
+	}
+}
+
+func TestHandlerUpload(t *testing.T) {
+	fs, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(&Handler{Source: fs, Uploads: fs})
+	defer srv.Close()
+
+	dir := t.TempDir()
+	path, d, _ := writeTestArtifact(t, dir, 200, 2)
+	cl := &Client{Base: srv.URL}
+	if err := cl.Push(context.Background(), d, path); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	// Push is idempotent.
+	if err := cl.Push(context.Background(), d, path); err != nil {
+		t.Fatalf("re-Push: %v", err)
+	}
+	// A push whose bytes don't match the claimed digest is rejected.
+	err = cl.Push(context.Background(), DigestBytes([]byte("claimed")), path)
+	if !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("mismatched Push: want ErrDigestMismatch, got %v", err)
+	}
+
+	// Round trip: fetch what we pushed.
+	dst := filepath.Join(dir, "fetched.mlca")
+	if _, err := cl.Fetch(context.Background(), d, dst); err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	want, _ := os.ReadFile(path)
+	got, _ := os.ReadFile(dst)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fetched bytes differ from pushed")
+	}
+}
+
+// tornHandler serves the artifact but cuts the first full-GET body short,
+// forcing the client down the Range-resume path.
+type tornHandler struct {
+	inner http.Handler
+	torn  atomic.Bool
+}
+
+func (h *tornHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Range") == "" && !h.torn.Swap(true) {
+		rec := httptest.NewRecorder()
+		h.inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(rec.Code)
+		w.Write(body[:len(body)/3]) // lie about length, then hang up
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestClientResumesTornTransfer(t *testing.T) {
+	dir := t.TempDir()
+	path, d, _ := writeTestArtifact(t, dir, 2000, 3)
+	th := &tornHandler{inner: &Handler{Source: Static{d: path}}}
+	srv := httptest.NewServer(th)
+	defer srv.Close()
+
+	cl := &Client{Base: srv.URL, Retries: 4}
+	dst := filepath.Join(dir, "out.mlca")
+	if _, err := cl.Fetch(context.Background(), d, dst); err != nil {
+		t.Fatalf("Fetch over torn transfer: %v", err)
+	}
+	want, _ := os.ReadFile(path)
+	got, _ := os.ReadFile(dst)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed fetch produced different bytes")
+	}
+	if !th.torn.Load() {
+		t.Fatal("test served nothing torn; resume path not exercised")
+	}
+}
+
+func TestClientFetchTerminalOn404(t *testing.T) {
+	srv := httptest.NewServer(&Handler{Source: Static{}})
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Retries: 50} // would take forever if retried
+	dst := filepath.Join(t.TempDir(), "out.mlca")
+	_, err := cl.Fetch(context.Background(), DigestBytes([]byte("absent")), dst)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want terminal 404 error, got %v", err)
+	}
+	if _, serr := os.Stat(dst); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatal("failed fetch left a file behind")
+	}
+}
+
+// lyingHandler always serves wrong bytes, so digest verification must
+// fail every attempt and the client must leave nothing behind.
+func TestClientFetchRejectsWrongBytes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "not the artifact you were promised")
+	}))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL, Retries: 2}
+	dst := filepath.Join(t.TempDir(), "out.mlca")
+	_, err := cl.Fetch(context.Background(), DigestBytes([]byte("truth")), dst)
+	if !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("want ErrDigestMismatch, got %v", err)
+	}
+	if _, serr := os.Stat(dst); !errors.Is(serr, os.ErrNotExist) {
+		t.Fatal("mismatched fetch left a file behind")
+	}
+}
