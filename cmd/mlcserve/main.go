@@ -55,17 +55,24 @@ import (
 // options collects every flag value so validation is testable apart from
 // flag parsing and process exit.
 type options struct {
-	jobs         int
-	queue        int
-	arenaBudget  int64
-	stateDir     string
-	artifactDir  string
-	journalMaxMB int64
-	tenantsPath  string
-	anonRate     float64
-	anonBurst    int
-	plan         string
-	sec          store.Security
+	jobs          int
+	queue         int
+	arenaBudget   int64
+	stateDir      string
+	artifactDir   string
+	journalMaxMB  int64
+	tenantsPath   string
+	anonRate      float64
+	anonBurst     int
+	plan          string
+	maxAttempts   int
+	maxJobBytes   int64
+	maxJobCost    int64
+	maxInflight   int64
+	maxDeadline   time.Duration
+	streamTimeout time.Duration
+	faultPoint    string
+	sec           store.Security
 }
 
 // validate rejects unusable flag combinations up front — an unwritable
@@ -90,6 +97,21 @@ func validate(o options) (*serve.Tenants, error) {
 	}
 	if _, err := sweep.ParsePlanMode(o.plan); err != nil {
 		return nil, fmt.Errorf("-plan: %v", err)
+	}
+	if o.maxAttempts <= 0 {
+		return nil, fmt.Errorf("-max-job-attempts must be positive, got %d", o.maxAttempts)
+	}
+	if o.maxJobBytes < 0 {
+		return nil, fmt.Errorf("-max-job-bytes must be non-negative, got %d", o.maxJobBytes)
+	}
+	if o.maxJobCost < 0 {
+		return nil, fmt.Errorf("-max-job-cost must be non-negative, got %d", o.maxJobCost)
+	}
+	if o.maxDeadline < 0 {
+		return nil, fmt.Errorf("-max-job-deadline must be non-negative, got %v", o.maxDeadline)
+	}
+	if _, err := serve.ParseFaultPoint(o.faultPoint); err != nil {
+		return nil, fmt.Errorf("-fault-point: %v", err)
 	}
 	if o.stateDir != "" {
 		if o.journalMaxMB <= 0 {
@@ -143,6 +165,13 @@ func main() {
 		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
 		insecure     = flag.Bool("insecure", false, "allow API keys over plaintext HTTP (testing only)")
 		plan         = flag.String("plan", "full", "default grid evaluation plan for jobs that do not name one (full or onepass)")
+		maxAttempts  = flag.Int("max-job-attempts", 3, "interrupted attempts before a job is quarantined as poisoned (with -state-dir)")
+		maxJobBytes  = flag.Int64("max-job-bytes", 0, "reject jobs whose estimated arena exceeds this many bytes with 413 (0 = unlimited)")
+		maxJobCost   = flag.Int64("max-job-cost", 0, "reject jobs whose estimated work (grid points x trace refs) exceeds this with 413 (0 = unlimited)")
+		maxInflight  = flag.Int64("max-inflight-bytes", 0, "aggregate estimated bytes admitted at once before 503 (0 = 2x arena budget, negative = unlimited)")
+		maxDeadline  = flag.Duration("max-job-deadline", 0, "cap on the deadline a job spec may request (0 = no cap)")
+		streamWrite  = flag.Duration("stream-write-timeout", 60*time.Second, "disconnect a client whose stream write blocks this long (0 = disabled)")
+		faultPoint   = flag.String("fault-point", "", "test-only crash injection, e.g. runjob:seed=666 (never use in production)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -155,7 +184,9 @@ func main() {
 		jobs: *jobs, queue: *queue, arenaBudget: *arenaBudget,
 		stateDir: *stateDir, artifactDir: *artifactDir, journalMaxMB: *journalMax,
 		tenantsPath: *tenantsPath, anonRate: *anonRate, anonBurst: *anonBurst,
-		plan: *plan, sec: sec,
+		plan: *plan, maxAttempts: *maxAttempts, maxJobBytes: *maxJobBytes,
+		maxJobCost: *maxJobCost, maxInflight: *maxInflight, maxDeadline: *maxDeadline,
+		streamTimeout: *streamWrite, faultPoint: *faultPoint, sec: sec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
@@ -168,6 +199,12 @@ func main() {
 	}
 	defer stopProf()
 
+	// The flag says "0 disables the stream timeout"; the Config says
+	// "0 means default, negative disables". Translate.
+	streamTimeout := *streamWrite
+	if streamTimeout == 0 {
+		streamTimeout = -1
+	}
 	cfg := serve.Config{
 		MaxJobs:           *jobs,
 		MaxQueue:          *queue,
@@ -182,6 +219,15 @@ func main() {
 		AnonRatePerSec:    *anonRate,
 		AnonBurst:         *anonBurst,
 		DefaultPlan:       *plan,
+		MaxJobAttempts:    *maxAttempts,
+		Cost: serve.CostModel{
+			MaxJobBytes:      *maxJobBytes,
+			MaxJobCost:       *maxJobCost,
+			MaxInflightBytes: *maxInflight,
+		},
+		MaxJobDeadline:     *maxDeadline,
+		StreamWriteTimeout: streamTimeout,
+		FaultPoint:         *faultPoint,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -195,11 +241,19 @@ func main() {
 		log.Printf("resuming %d interrupted jobs from %s", n, *stateDir)
 	}
 
+	if *faultPoint != "" {
+		log.Printf("WARNING: -fault-point %s armed; this process will crash on matching jobs (testing only)", *faultPoint)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-		// No write timeout: job streams legitimately run for minutes.
+		MaxHeaderBytes:    1 << 20,
+		IdleTimeout:       2 * time.Minute,
+		// No write timeout: job streams legitimately run for minutes — the
+		// serve layer applies its own per-write deadline to streams
+		// (-stream-write-timeout) instead.
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -5,10 +5,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func goodOptions() options {
-	return options{jobs: 4, queue: 16, arenaBudget: 1024, journalMaxMB: 64}
+	return options{jobs: 4, queue: 16, arenaBudget: 1024, journalMaxMB: 64, maxAttempts: 3}
 }
 
 func TestValidateRejectsBadFlagCombinations(t *testing.T) {
@@ -34,6 +35,11 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 		{"zero arena budget", func(o *options) { o.arenaBudget = 0 }, "-arena-budget-mb"},
 		{"negative rate", func(o *options) { o.anonRate = -1 }, "-tenant-rate"},
 		{"negative burst", func(o *options) { o.anonBurst = -1 }, "-tenant-burst"},
+		{"zero attempts", func(o *options) { o.maxAttempts = 0 }, "-max-job-attempts"},
+		{"negative job bytes", func(o *options) { o.maxJobBytes = -1 }, "-max-job-bytes"},
+		{"negative job cost", func(o *options) { o.maxJobCost = -1 }, "-max-job-cost"},
+		{"negative deadline cap", func(o *options) { o.maxDeadline = -time.Second }, "-max-job-deadline"},
+		{"garbage fault point", func(o *options) { o.faultPoint = "explode" }, "-fault-point"},
 		{
 			"zero journal size with state dir",
 			func(o *options) { o.stateDir = t.TempDir(); o.journalMaxMB = 0 },

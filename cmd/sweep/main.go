@@ -377,7 +377,16 @@ func runCoordinator(ctx context.Context, addr string, cfg coord.Config, co coord
 	root.Handle(store.PathArtifacts, &store.Handler{Source: sources, Uploads: uploads, Logf: log.Printf})
 	root.Handle("/", c.Handler())
 
-	srv := &http.Server{Addr: addr, Handler: co.sec.RequireAuth(root)}
+	// Same slowloris hardening as cmd/mlcserve: bound header reads, header
+	// size, and idle keep-alives. No write timeout — workers hold
+	// long-polls and artifact downloads legitimately.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           co.sec.RequireAuth(root),
+		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() {
 		if co.sec.TLSServer() {

@@ -14,6 +14,7 @@
 package coord
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -75,31 +76,123 @@ type JobSpec struct {
 	// part of grid enumeration, runner construction, or result cache
 	// keys, so identical grids from different tenants share work.
 	Tenant string `json:"tenant,omitempty"`
+	// DeadlineSec, when positive, bounds the job's wall-clock runtime: the
+	// serving process cancels the run cleanly once the deadline passes,
+	// journals it failed(deadline), and frees the queue slot. Zero means no
+	// deadline. Servers may cap the acceptable value (mlcserve
+	// -max-job-deadline). Like Tenant, it never influences grid
+	// enumeration or result identity.
+	DeadlineSec int64 `json:"deadline_sec,omitempty"`
 }
 
-// Validate rejects a spec that cannot enumerate a grid.
+// Validation bounds. JobSpec crosses trust boundaries — HTTP submission,
+// journal replay, the worker protocol — so Validate rejects not only
+// unusable specs but absurd ones: Refs in the billions or a degenerate grid
+// would OOM or wedge the process at materialization time, long after
+// admission. Every bound sits far above any realistic experiment (the
+// paper's full grid is 110 points; its longest traces are a few million
+// references), so tripping one is always a bug or an attack, never a
+// legitimate workload.
+const (
+	// MaxGridDim bounds each grid axis independently.
+	MaxGridDim = 4096
+	// MaxGridPoints bounds the enumerated size×cycle product.
+	MaxGridPoints = 1 << 16
+	// MaxRefs bounds the reference count: 2^33 refs at 16 bytes per arena
+	// record is a 128 GiB materialization, already beyond sane hosts.
+	MaxRefs = int64(1) << 33
+	// MaxL2SizeBytes bounds a single simulated L2 (16 GiB).
+	MaxL2SizeBytes = int64(1) << 34
+	// MaxCycleNS bounds a single L2 cycle time (~1ms, glacial for SRAM).
+	MaxCycleNS = int64(1) << 20
+	// MaxAssoc bounds set associativity (fully-associative beyond this is
+	// a degenerate CAM no hierarchy in the study space uses).
+	MaxAssoc = 1 << 10
+	// MaxL1KB bounds the split L1 total size (1 GiB).
+	MaxL1KB = 1 << 20
+	// MaxLenientBudget bounds the corrupt-record skip budget; a trace that
+	// needs more skips than this is the wrong file, not a damaged one.
+	MaxLenientBudget = 1 << 24
+	// MaxDeadlineSec bounds a job deadline to one week.
+	MaxDeadlineSec = int64(7 * 24 * 60 * 60)
+)
+
+// Distinct sentinel errors per admission bound, so the service layer and
+// tests can tell which limit a spec tripped without string matching.
+// Validate wraps them with the offending value via %w.
+var (
+	ErrGridTooLarge       = errors.New("coord: grid dimensions out of bounds")
+	ErrL2SizeOutOfRange   = errors.New("coord: L2 size out of bounds")
+	ErrCycleOutOfRange    = errors.New("coord: L2 cycle time out of bounds")
+	ErrAssocOutOfRange    = errors.New("coord: associativity out of bounds")
+	ErrL1OutOfRange       = errors.New("coord: L1 size out of bounds")
+	ErrRefsOutOfRange     = errors.New("coord: reference count out of bounds")
+	ErrLenientOutOfRange  = errors.New("coord: lenient skip budget out of bounds")
+	ErrDeadlineOutOfRange = errors.New("coord: deadline out of bounds")
+)
+
+// Validate rejects a spec that cannot enumerate a grid, plus any spec
+// whose stated dimensions exceed the admission bounds above.
 func (s JobSpec) Validate() error {
 	if len(s.SizesBytes) == 0 || len(s.CyclesNS) == 0 {
 		return fmt.Errorf("coord: job needs at least one L2 size and one cycle time")
 	}
+	if len(s.SizesBytes) > MaxGridDim {
+		return fmt.Errorf("%w: %d L2 sizes (max %d)", ErrGridTooLarge, len(s.SizesBytes), MaxGridDim)
+	}
+	if len(s.CyclesNS) > MaxGridDim {
+		return fmt.Errorf("%w: %d cycle times (max %d)", ErrGridTooLarge, len(s.CyclesNS), MaxGridDim)
+	}
+	if pts := len(s.SizesBytes) * len(s.CyclesNS); pts > MaxGridPoints {
+		return fmt.Errorf("%w: %d grid points (max %d)", ErrGridTooLarge, pts, MaxGridPoints)
+	}
 	for _, b := range s.SizesBytes {
 		if b <= 0 {
 			return fmt.Errorf("coord: L2 size %d must be positive", b)
+		}
+		if b > MaxL2SizeBytes {
+			return fmt.Errorf("%w: %d bytes (max %d)", ErrL2SizeOutOfRange, b, MaxL2SizeBytes)
 		}
 	}
 	for _, c := range s.CyclesNS {
 		if c <= 0 {
 			return fmt.Errorf("coord: L2 cycle time %d must be positive", c)
 		}
+		if c > MaxCycleNS {
+			return fmt.Errorf("%w: %d ns (max %d)", ErrCycleOutOfRange, c, MaxCycleNS)
+		}
 	}
 	if s.Assoc < 0 {
 		return fmt.Errorf("coord: associativity %d must be non-negative", s.Assoc)
 	}
+	if s.Assoc > MaxAssoc {
+		return fmt.Errorf("%w: %d ways (max %d)", ErrAssocOutOfRange, s.Assoc, MaxAssoc)
+	}
 	if s.L1KB <= 0 {
 		return fmt.Errorf("coord: L1 size %d KB must be positive", s.L1KB)
 	}
+	if s.L1KB > MaxL1KB {
+		return fmt.Errorf("%w: %d KB (max %d)", ErrL1OutOfRange, s.L1KB, MaxL1KB)
+	}
+	if s.Refs < 0 {
+		return fmt.Errorf("%w: %d is negative", ErrRefsOutOfRange, s.Refs)
+	}
+	if s.Refs > MaxRefs {
+		return fmt.Errorf("%w: %d references (max %d)", ErrRefsOutOfRange, s.Refs, MaxRefs)
+	}
 	if s.TracePath == "" && s.ArtifactDigest == "" && s.Refs <= 0 {
 		return fmt.Errorf("coord: synthetic workload needs a positive reference count")
+	}
+	// Negative Lenient stays legal: trace.Lenient reads it as an unlimited
+	// skip budget and cmd/sweep exposes that via -lenient -1.
+	if s.Lenient > MaxLenientBudget {
+		return fmt.Errorf("%w: %d (max %d)", ErrLenientOutOfRange, s.Lenient, MaxLenientBudget)
+	}
+	if s.DeadlineSec < 0 {
+		return fmt.Errorf("%w: %d is negative", ErrDeadlineOutOfRange, s.DeadlineSec)
+	}
+	if s.DeadlineSec > MaxDeadlineSec {
+		return fmt.Errorf("%w: %d s (max %d)", ErrDeadlineOutOfRange, s.DeadlineSec, MaxDeadlineSec)
 	}
 	if s.ArtifactDigest != "" {
 		if _, err := store.ParseDigest(s.ArtifactDigest); err != nil {

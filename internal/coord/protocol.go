@@ -8,7 +8,10 @@ import (
 // a worker refuses to join a coordinator speaking a different version.
 // v2 added content-addressed traces (JobSpec.ArtifactDigest): a v1 worker
 // cannot honor a digest-only spec, so the version gate keeps it out.
-const ProtocolVersion = 2
+// v3 added JobSpec.DeadlineSec and the Validate admission bounds: a v2
+// worker would silently drop a job's deadline and accept specs a v3
+// coordinator rejects, so the gate keeps fleets in step.
+const ProtocolVersion = 3
 
 // Endpoint paths. All endpoints are POST with JSON bodies and JSON
 // responses; every request is idempotent, so a client that saw a torn or

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"mlcache/internal/checkpoint"
+	"mlcache/internal/trace"
+)
+
+// TestEstimateJobSynthetic: a synthetic spec prices at refs×16 bytes and
+// points×refs work; the onepass plan is priced at a fraction of a full
+// pass per point.
+func TestEstimateJobSynthetic(t *testing.T) {
+	spec := gridSpec() // 2×2 grid, 30000 refs
+	est, err := EstimateJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bytes != 30000*refBytes {
+		t.Errorf("Bytes = %d, want %d", est.Bytes, 30000*refBytes)
+	}
+	if est.Points != 4 || est.Refs != 30000 {
+		t.Errorf("Points/Refs = %d/%d, want 4/30000", est.Points, est.Refs)
+	}
+	if est.Cost != 4*30000 {
+		t.Errorf("full-plan Cost = %d, want %d", est.Cost, 4*30000)
+	}
+
+	spec.Plan = "onepass"
+	op, err := EstimateJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Cost >= est.Cost || op.Cost < 30000 {
+		t.Errorf("onepass Cost = %d, want within [refs, full=%d)", op.Cost, est.Cost)
+	}
+}
+
+// TestEstimateJobArtifact: artifact-backed specs are priced from the
+// 32-byte header's record count, capped by the spec's own Refs.
+func TestEstimateJobArtifact(t *testing.T) {
+	refs := make([]trace.Ref, 500)
+	for i := range refs {
+		refs[i] = trace.Ref{Addr: uint64(i * 64), Kind: trace.Load}
+	}
+	path := filepath.Join(t.TempDir(), "t.mlca")
+	if err := trace.WriteArtifact(path, trace.NewArena(refs)); err != nil {
+		t.Fatal(err)
+	}
+	spec := gridSpec()
+	spec.TracePath = path
+	spec.Refs = 0 // whole file
+	est, err := EstimateJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Refs != 500 || est.Bytes != 500*refBytes {
+		t.Errorf("whole-file estimate Refs/Bytes = %d/%d, want 500/%d", est.Refs, est.Bytes, 500*refBytes)
+	}
+	spec.Refs = 100 // spec cap below the file's count wins
+	if est, _ := EstimateJob(spec); est.Refs != 100 {
+		t.Errorf("capped estimate Refs = %d, want 100", est.Refs)
+	}
+	spec.Refs = 1 << 20 // cap above the file clamps to the file
+	if est, _ := EstimateJob(spec); est.Refs != 500 {
+		t.Errorf("over-cap estimate Refs = %d, want 500", est.Refs)
+	}
+}
+
+// TestCostModelCheck: each bound trips with its own machine-readable
+// reason, and a job bigger than the whole in-flight budget is a permanent
+// (bytes) rejection rather than a transient one.
+func TestCostModelCheck(t *testing.T) {
+	est := JobEstimate{Bytes: 1000, Cost: 5000}
+	cases := []struct {
+		name       string
+		m          CostModel
+		wantReason string // "" = admitted
+	}{
+		{"unlimited", CostModel{}, ""},
+		{"under bounds", CostModel{MaxJobBytes: 2000, MaxJobCost: 10000}, ""},
+		{"over bytes", CostModel{MaxJobBytes: 999}, "bytes"},
+		{"over cost", CostModel{MaxJobCost: 4999}, "cost"},
+		{"over whole inflight budget", CostModel{MaxInflightBytes: 999}, "bytes"},
+	}
+	for _, tc := range cases {
+		ce := tc.m.check(est)
+		switch {
+		case tc.wantReason == "" && ce != nil:
+			t.Errorf("%s: rejected: %v", tc.name, ce)
+		case tc.wantReason != "" && (ce == nil || ce.Reason != tc.wantReason):
+			t.Errorf("%s: got %+v, want reason %q", tc.name, ce, tc.wantReason)
+		}
+	}
+}
+
+// TestAdmissionRejectsOversized: an over-budget spec is refused with 413
+// and a machine-readable reason before any journal append or arena
+// materialization — the acceptance-criteria ordering.
+func TestAdmissionRejectsOversized(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{
+		StateDir: dir,
+		Cost:     CostModel{MaxJobBytes: 1000}, // gridSpec estimates 480000
+	})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(gridSpec())
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec = %d, want 413", resp.StatusCode)
+	}
+	var reason struct {
+		Reason    string `json:"reason"`
+		Estimated int64  `json:"estimated"`
+		Limit     int64  `json:"limit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reason); err != nil {
+		t.Fatal(err)
+	}
+	if reason.Reason != "bytes" || reason.Estimated != 30000*refBytes || reason.Limit != 1000 {
+		t.Errorf("413 body = %+v", reason)
+	}
+
+	// Nothing was journaled and nothing was materialized.
+	set, err := checkpoint.LoadSegmented(dir, "jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Records) != 0 {
+		t.Errorf("rejected job left %d journal records", len(set.Records))
+	}
+	if st := s.arenas.Stats(); st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("rejected job touched the arena cache: %+v", st)
+	}
+	if got := s.metrics.jobsRejectedCost.Load(); got != 1 {
+		t.Errorf("jobsRejectedCost = %d, want 1", got)
+	}
+	if got := s.metrics.jobsTotal.Load(); got != 0 {
+		t.Errorf("jobsTotal = %d, want 0 (rejection is not acceptance)", got)
+	}
+}
+
+// TestInflightGate: the aggregate byte budget answers transient
+// overcommit with 503 + Retry-After and admits the same job once the
+// reservation frees.
+func TestInflightGate(t *testing.T) {
+	spec := gridSpec()
+	est, err := EstimateJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{
+		Cost: CostModel{MaxInflightBytes: est.Bytes + 1},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fill the budget by hand — deterministic stand-in for a running job.
+	if !s.gate.reserve(est.Bytes) {
+		t.Fatal("initial reservation failed")
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := ts.Client().Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overcommit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if got := s.metrics.jobsRejectedLoad.Load(); got != 1 {
+		t.Errorf("jobsRejectedLoad = %d, want 1", got)
+	}
+
+	s.gate.release(est.Bytes)
+	js := postJob(t, ts.Client(), ts.URL+"/jobs", spec)
+	if js.status != http.StatusOK || !js.gotDone {
+		t.Errorf("job after release: status %d, done %t", js.status, js.gotDone)
+	}
+	if got := s.metrics.inflightBytes.Load(); got != 0 {
+		t.Errorf("inflight gauge = %d after completion, want 0", got)
+	}
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -37,18 +39,44 @@ import (
 // not resurrect has a terminal append shadowing it.
 
 // jobStatus values journaled for a job. Only statusRunning is resumed at
-// startup; the others are terminal.
+// startup; the others are terminal. statusPoisoned is the quarantine
+// state: the job crashed the process too many times in a row and must
+// never be re-run — unlike the other terminal states its record survives
+// compaction, because the quarantine decision must outlive restarts.
 const (
 	statusRunning  = "running"
 	statusDone     = "done"
 	statusCanceled = "canceled"
 	statusFailed   = "failed"
+	statusPoisoned = "poisoned"
 )
 
-// jobRecord is the journaled description of one accepted job.
+// jobRecord is the journaled description of one accepted job. Attempts
+// counts how many times a process has journaled "running" for this job —
+// the attempt-begin record written before runJob — so a restarted server
+// can tell "interrupted once by a rolling restart" from "crashes the
+// process every time". SpecDigest, Error, and PoisonedAt are the crash
+// report filled in when the job is quarantined.
 type jobRecord struct {
-	Spec   coord.JobSpec `json:"spec"`
-	Status string        `json:"status"`
+	Spec       coord.JobSpec `json:"spec"`
+	Status     string        `json:"status"`
+	Attempts   int           `json:"attempts,omitempty"`
+	SpecDigest string        `json:"spec_digest,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	PoisonedAt string        `json:"poisoned_at,omitempty"`
+}
+
+// specDigest is the stable identity of a job's workload+grid for the
+// quarantine registry: the tenant label is cleared first (it never affects
+// execution, and a poison spec is poison no matter who submits it), then
+// the canonical JSON encoding is hashed. Digested after tenant stamping,
+// plan defaulting, and artifact resolution, so the submit path and the
+// journal replay path hash the same bytes.
+func specDigest(spec coord.JobSpec) string {
+	spec.Tenant = ""
+	b, _ := json.Marshal(spec)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // keepSegments is how many segments may accumulate before a rotation
@@ -110,7 +138,10 @@ func (d *durable) appendJob(jobKey string, rec jobRecord) error {
 			if json.Unmarshal(data, &r) != nil {
 				return false
 			}
-			return r.Status == statusRunning
+			// Poisoned records must survive compaction: the quarantine
+			// decision is permanent, and dropping it would let the next
+			// restart happily resume the crash loop.
+			return r.Status == statusRunning || r.Status == statusPoisoned
 		})
 	}
 	return nil

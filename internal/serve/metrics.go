@@ -61,14 +61,21 @@ func (h *histogram) mean() float64 {
 type metrics struct {
 	start time.Time
 
-	jobsTotal         atomic.Int64 // accepted jobs (includes canceled)
-	jobsRejected      atomic.Int64 // 429 queue-backpressure rejections
-	jobsRejectedQuota atomic.Int64 // 429 per-tenant token-bucket rejections
-	jobsUnauthorized  atomic.Int64 // 401 missing/unknown API key
-	jobsCanceled      atomic.Int64 // client disconnected mid-grid
-	jobsResumed       atomic.Int64 // interrupted jobs finished after restart
-	jobsActive        atomic.Int64
-	queueDepth        atomic.Int64
+	jobsTotal            atomic.Int64 // accepted jobs (includes canceled)
+	jobsRejected         atomic.Int64 // 429 queue-backpressure rejections
+	jobsRejectedQuota    atomic.Int64 // 429 per-tenant token-bucket rejections
+	jobsRejectedCost     atomic.Int64 // 413 admission cost-model rejections
+	jobsRejectedLoad     atomic.Int64 // 503 in-flight byte-budget rejections
+	jobsRejectedPoisoned atomic.Int64 // 422 resubmissions of quarantined specs
+	jobsUnauthorized     atomic.Int64 // 401 missing/unknown API key
+	jobsCanceled         atomic.Int64 // client disconnected mid-grid
+	jobsResumed          atomic.Int64 // interrupted jobs finished after restart
+	jobsPoisoned         atomic.Int64 // jobs quarantined past the attempt limit
+	jobsDeadline         atomic.Int64 // jobs canceled by their own deadline
+	streamStalls         atomic.Int64 // clients disconnected for stalled stream reads
+	jobsActive           atomic.Int64
+	queueDepth           atomic.Int64
+	inflightBytes        atomic.Int64 // estimated bytes of admitted unfinished jobs
 
 	pointsTotal    atomic.Int64 // points simulated by this process
 	pointsCached   atomic.Int64 // served from the result cache
@@ -141,10 +148,17 @@ func (m *metrics) writePrometheus(w io.Writer, arenas ArenaCacheStats, pool mems
 	counter("mlcserve_jobs_rejected_total", "Jobs rejected with 429 by queue backpressure.", m.jobsRejected.Load())
 	counter("mlcserve_jobs_rejected_quota_total", "Jobs rejected with 429 by a tenant's token bucket.", m.jobsRejectedQuota.Load())
 	counter("mlcserve_jobs_unauthorized_total", "Requests rejected with 401 for a missing or unknown API key.", m.jobsUnauthorized.Load())
+	counter("mlcserve_jobs_rejected_cost_total", "Jobs rejected with 413 by the admission cost model.", m.jobsRejectedCost.Load())
+	counter("mlcserve_jobs_rejected_load_total", "Jobs rejected with 503 because the in-flight byte budget was exhausted.", m.jobsRejectedLoad.Load())
+	counter("mlcserve_jobs_rejected_poisoned_total", "Resubmissions rejected with 422 because the spec is quarantined.", m.jobsRejectedPoisoned.Load())
 	counter("mlcserve_jobs_canceled_total", "Jobs abandoned because the client disconnected.", m.jobsCanceled.Load())
 	counter("mlcserve_jobs_resumed_total", "Journaled jobs finished in the background after a restart.", m.jobsResumed.Load())
+	counter("mlcserve_jobs_poisoned_total", "Jobs quarantined after crashing the process past the attempt limit.", m.jobsPoisoned.Load())
+	counter("mlcserve_jobs_deadline_total", "Jobs canceled by their own deadline.", m.jobsDeadline.Load())
+	counter("mlcserve_stream_stalls_total", "Streaming clients disconnected for not reading within the write timeout.", m.streamStalls.Load())
 	gaugeI("mlcserve_jobs_active", "Jobs currently simulating or streaming.", m.jobsActive.Load())
 	gaugeI("mlcserve_queue_depth", "Jobs waiting for a run slot.", m.queueDepth.Load())
+	gaugeI("mlcserve_inflight_estimated_bytes", "Estimated arena bytes of admitted, unfinished jobs.", m.inflightBytes.Load())
 
 	counter("mlcserve_points_total", "Grid points simulated.", m.pointsTotal.Load())
 	counter("mlcserve_points_cached_total", "Grid points served from the result cache.", m.pointsCached.Load())

@@ -35,12 +35,24 @@
 // its job's context and frees the workers at the next batch boundary;
 // Drain flips /healthz to 503 and rejects new jobs while in-flight grids
 // finish (SIGTERM handling in cmd/mlcserve).
+//
+// Survivability (failure containment, DESIGN.md §15): a spec that
+// deterministically crashes the process is quarantined as poisoned after
+// Config.MaxJobAttempts interrupted attempts instead of crash-looping
+// forever; an admission CostModel prices every job from its spec alone
+// and refuses oversized ones with 413 before any journal write or arena
+// materialization, with an aggregate in-flight byte gate (503) so
+// admissible jobs cannot jointly OOM; JobSpec.DeadlineSec cancels runaway
+// jobs cleanly; and every streaming write carries a deadline so a client
+// that stops reading is disconnected instead of pinning an arena lease
+// and blocking Drain.
 package serve
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -51,6 +63,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlcache/internal/coord"
@@ -108,6 +121,27 @@ type Config struct {
 	// names a plan explicitly wins. Applied before journaling, so a
 	// replayed job re-runs under the plan it was admitted with.
 	DefaultPlan string
+	// MaxJobAttempts is how many times a journaled job may be found
+	// interrupted before ResumeInterrupted quarantines it as poisoned
+	// instead of re-running it (default 3). Only meaningful with StateDir.
+	MaxJobAttempts int
+	// Cost bounds what a single job may demand at admission (see
+	// CostModel). Cost.MaxInflightBytes == 0 defaults to twice the arena
+	// budget; negative disables the in-flight gate.
+	Cost CostModel
+	// MaxJobDeadline caps the DeadlineSec a submitted spec may request
+	// (0 = no cap beyond coord.MaxDeadlineSec).
+	MaxJobDeadline time.Duration
+	// StreamWriteTimeout bounds each streaming write: a client that stops
+	// reading for this long is disconnected and its job canceled
+	// (default 60s; negative disables).
+	StreamWriteTimeout time.Duration
+	// FaultPoint is a test-only crash injection hook ("runjob:seed=N"
+	// crashes the process when a synthetic job with that seed reaches
+	// runJob, after the attempt-begin journal record). Empty disables.
+	// It exists so the crash-loop quarantine path can be exercised by
+	// real kill-and-restart tests; never set it in production.
+	FaultPoint string
 	// Logf receives operational events; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -124,6 +158,40 @@ func (c Config) maxQueue() int {
 		return 16
 	}
 	return c.MaxQueue
+}
+
+func (c Config) maxJobAttempts() int {
+	if c.MaxJobAttempts <= 0 {
+		return 3
+	}
+	return c.MaxJobAttempts
+}
+
+func (c Config) streamWriteTimeout() time.Duration {
+	if c.StreamWriteTimeout < 0 {
+		return 0 // disabled
+	}
+	if c.StreamWriteTimeout == 0 {
+		return 60 * time.Second
+	}
+	return c.StreamWriteTimeout
+}
+
+// maxInflightBytes resolves the aggregate admission budget: explicit wins,
+// zero defaults to twice the arena budget (admitted work beyond that could
+// not all be resident anyway), negative disables the gate.
+func (c Config) maxInflightBytes() int64 {
+	switch {
+	case c.Cost.MaxInflightBytes > 0:
+		return c.Cost.MaxInflightBytes
+	case c.Cost.MaxInflightBytes < 0:
+		return 0
+	}
+	budget := c.ArenaBudgetBytes
+	if budget <= 0 {
+		budget = 1 << 30 // ArenaCache's own default
+	}
+	return 2 * budget
 }
 
 // Server is the resident sweep service. Create with New, mount Handler on
@@ -146,10 +214,22 @@ type Server struct {
 	sorted []*tenant
 	anon   *tenant
 
+	// gate caps the sum of estimated bytes across admitted jobs; fault is
+	// the parsed test-only crash injection point.
+	gate  *inflightGate
+	fault FaultPoint
+
 	mu       sync.Mutex
 	draining bool
 	jobSeq   int64
 	pending  []pendingJob // journaled running jobs awaiting ResumeInterrupted
+
+	// poisoned is the quarantine registry, keyed by specDigest: loaded
+	// from journaled poisoned records at startup, extended when
+	// ResumeInterrupted quarantines a crash-looping job. Submissions
+	// matching a quarantined digest are refused with 422.
+	poisonMu sync.Mutex
+	poisoned map[string]jobRecord
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -161,6 +241,37 @@ type pendingJob struct {
 	rec jobRecord
 }
 
+// FaultPoint is a parsed test-only crash injection directive. The only
+// supported form is "runjob:seed=N": crash the process (exit code 117)
+// when a synthetic job with Seed N reaches runJob — after its
+// attempt-begin journal record, exactly where a deterministic poison job
+// would take the process down.
+type FaultPoint struct {
+	kind string // "" = disabled; "runjob"
+	seed int64
+}
+
+// FaultExitCode is the process exit status of an injected crash, distinct
+// from every real failure path so restart harnesses can assert on it.
+const FaultExitCode = 117
+
+// ParseFaultPoint parses a -fault-point directive ("" = disabled).
+func ParseFaultPoint(s string) (FaultPoint, error) {
+	if s == "" {
+		return FaultPoint{}, nil
+	}
+	var seed int64
+	if _, err := fmt.Sscanf(s, "runjob:seed=%d", &seed); err != nil {
+		return FaultPoint{}, fmt.Errorf("serve: bad fault point %q (want runjob:seed=N)", s)
+	}
+	return FaultPoint{kind: "runjob", seed: seed}, nil
+}
+
+// matches reports whether running spec should trigger the injected crash.
+func (f FaultPoint) matches(spec coord.JobSpec) bool {
+	return f.kind == "runjob" && spec.TracePath == "" && spec.ArtifactDigest == "" && spec.Seed == f.seed
+}
+
 // New returns a ready Server. With Config.StateDir set it replays the
 // journals: finished points land in the result cache (counted by
 // mlcserve_points_replayed_total) and interrupted jobs are queued for
@@ -169,16 +280,23 @@ func New(cfg Config) (*Server, error) {
 	if _, err := sweep.ParsePlanMode(cfg.DefaultPlan); err != nil {
 		return nil, err
 	}
-	s := &Server{
-		cfg:     cfg,
-		arenas:  NewArenaCache(cfg.ArenaBudgetBytes),
-		pool:    memsys.NewPool(cfg.PoolPerGeometry),
-		results: newResultCache(cfg.ResultCachePoints),
-		metrics: newMetrics(),
-		byKey:   map[string]*tenant{},
-		byName:  map[string]*tenant{},
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	fault, err := ParseFaultPoint(cfg.FaultPoint)
+	if err != nil {
+		return nil, err
 	}
+	s := &Server{
+		cfg:      cfg,
+		arenas:   NewArenaCache(cfg.ArenaBudgetBytes),
+		pool:     memsys.NewPool(cfg.PoolPerGeometry),
+		results:  newResultCache(cfg.ResultCachePoints),
+		metrics:  newMetrics(),
+		byKey:    map[string]*tenant{},
+		byName:   map[string]*tenant{},
+		fault:    fault,
+		poisoned: map[string]jobRecord{},
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	s.gate = &inflightGate{max: cfg.maxInflightBytes(), gauge: &s.metrics.inflightBytes}
 	s.queue = newFairQueue(cfg.maxJobs(), cfg.maxQueue(), &s.metrics.queueDepth)
 	if cfg.Tenants != nil {
 		for _, name := range cfg.Tenants.names {
@@ -228,16 +346,26 @@ func New(cfg Config) (*Server, error) {
 				s.jobSeq = seq
 			}
 			var rec jobRecord
-			if err := json.Unmarshal(raw, &rec); err != nil || rec.Status != statusRunning {
+			if err := json.Unmarshal(raw, &rec); err != nil {
 				continue
 			}
-			s.pending = append(s.pending, pendingJob{id: seq, rec: rec})
+			switch rec.Status {
+			case statusRunning:
+				s.pending = append(s.pending, pendingJob{id: seq, rec: rec})
+			case statusPoisoned:
+				d := rec.SpecDigest
+				if d == "" {
+					d = specDigest(rec.Spec)
+				}
+				s.poisoned[d] = rec
+			}
 		}
 		sort.Slice(s.pending, func(i, j int) bool { return s.pending[i].id < s.pending[j].id })
 		if dropped := resultsSet.Dropped + jobsSet.Dropped; dropped > 0 {
 			s.logf("state: dropped %d torn/corrupt journal records (expected after a crash)", dropped)
 		}
-		s.logf("state: replayed %d points, %d interrupted jobs pending", replayed, len(s.pending))
+		s.logf("state: replayed %d points, %d interrupted jobs pending, %d poisoned specs quarantined",
+			replayed, len(s.pending), len(s.poisoned))
 	}
 	return s, nil
 }
@@ -304,14 +432,31 @@ func (s *Server) Draining() bool {
 // the fair queue under its original tenant and runs with no client
 // attached, its points landing in the durable result cache. By the time
 // the submitting client retries, the whole grid replays from cache with
-// zero recomputation. Returns the number of jobs being resumed;
-// mlcserve_jobs_resumed_total counts them as they finish.
+// zero recomputation.
+//
+// Crash-loop quarantine: a job found interrupted for the
+// Config.MaxJobAttempts'th time is not resumed — every prior attempt
+// journaled "running" and never reached a terminal state, which is the
+// signature of a spec that deterministically takes the process down. The
+// job transitions to the terminal poisoned state (the crash report is
+// journaled and kept across compactions), matching resubmissions are
+// refused with 422, and every other interrupted job proceeds untouched.
+//
+// Returns the number of jobs being resumed; mlcserve_jobs_resumed_total
+// counts them as they finish, mlcserve_jobs_poisoned_total counts
+// quarantines.
 func (s *Server) ResumeInterrupted() int {
 	s.mu.Lock()
 	pending := s.pending
 	s.pending = nil
 	s.mu.Unlock()
+	resumed := 0
 	for _, p := range pending {
+		if p.rec.Attempts >= s.cfg.maxJobAttempts() {
+			s.quarantine(p.id, p.rec)
+			continue
+		}
+		resumed++
 		p := p
 		go func() {
 			tn := s.tenantByName(p.rec.Spec.Tenant)
@@ -320,14 +465,52 @@ func (s *Server) ResumeInterrupted() int {
 				return // unreachable: a nil done channel never fires
 			}
 			defer s.queue.release()
-			s.logf("resuming job %d (tenant %s)", p.id, tn.name)
-			status := s.runJob(context.Background(), p.id, p.rec.Spec, tn, nopSink{}, false,
+			attempt := p.rec.Attempts + 1
+			s.logf("resuming job %d (tenant %s, attempt %d/%d)", p.id, tn.name, attempt, s.cfg.maxJobAttempts())
+			// Attempt-begin: journal the incremented attempt count before
+			// runJob, so a crash during this resume is counted against the
+			// quarantine limit by the next process.
+			s.journalJob(p.id, jobRecord{Spec: p.rec.Spec, Status: statusRunning, Attempts: attempt})
+			out := s.runJob(context.Background(), p.id, p.rec.Spec, tn, nopSink{}, false,
 				func(err error) { s.logf("resume job %d: %v", p.id, err) })
-			s.journalJob(p.id, p.rec.Spec, status)
+			s.journalJob(p.id, jobRecord{Spec: p.rec.Spec, Status: out.status, Attempts: attempt, Error: out.errMsg})
 			s.metrics.jobsResumed.Add(1)
 		}()
 	}
-	return len(pending)
+	return resumed
+}
+
+// quarantine transitions an interrupted job to the terminal poisoned
+// state: journal the crash report, register the spec digest so
+// resubmissions are refused, and export the event.
+func (s *Server) quarantine(id int64, rec jobRecord) {
+	d := specDigest(rec.Spec)
+	prec := jobRecord{
+		Spec:       rec.Spec,
+		Status:     statusPoisoned,
+		Attempts:   rec.Attempts,
+		SpecDigest: d,
+		Error:      fmt.Sprintf("quarantined after %d interrupted attempts", rec.Attempts),
+		PoisonedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	s.journalJob(id, prec)
+	s.poisonMu.Lock()
+	s.poisoned[d] = prec
+	s.poisonMu.Unlock()
+	s.metrics.jobsPoisoned.Add(1)
+	s.logf("job %d poisoned: %d interrupted attempts (limit %d), spec %s quarantined",
+		id, rec.Attempts, s.cfg.maxJobAttempts(), d[:16])
+}
+
+// poisonedFor looks up a submission's spec in the quarantine registry.
+// Call after tenant stamping, plan defaulting, and artifact resolution so
+// the digest matches what was journaled.
+func (s *Server) poisonedFor(spec coord.JobSpec) (jobRecord, bool) {
+	d := specDigest(spec)
+	s.poisonMu.Lock()
+	defer s.poisonMu.Unlock()
+	rec, ok := s.poisoned[d]
+	return rec, ok
 }
 
 // tenantByName resolves a journaled tenant name to its runtime tenant,
@@ -445,7 +628,9 @@ type startLine struct {
 }
 
 // doneLine closes the stream. Table is the full sweep.WriteTable
-// rendering, byte-identical to cmd/sweep output for the same grid.
+// rendering, byte-identical to cmd/sweep output for the same grid. Error,
+// when set, is the structured reason a job ended without a table (for
+// deadline-exceeded jobs the stream's final record carries it).
 type doneLine struct {
 	Done      bool    `json:"done"`
 	Job       int64   `json:"job"`
@@ -453,7 +638,8 @@ type doneLine struct {
 	Cached    int     `json:"cached"`
 	Failed    int     `json:"failed"`
 	ElapsedMS float64 `json:"elapsed_ms"`
-	Table     string  `json:"table"`
+	Table     string  `json:"table,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // streamSink abstracts where a job's records go: an NDJSON stream, an SSE
@@ -464,27 +650,76 @@ type streamSink interface {
 	send(event string, v any)
 }
 
+// streamSupervisor guards every streaming write with a deadline: a client
+// that stops reading parks the handler in the kernel's (or test pipe's)
+// send path forever, pinning an arena lease and blocking Drain. Before
+// each write the supervisor arms a per-write deadline on the connection
+// (http.ResponseController.SetWriteDeadline); the first write that fails
+// or times out cancels the job's context, counts a stall, and swallows
+// all further output. timeout <= 0 disables the deadline but still
+// detects plain write errors.
+type streamSupervisor struct {
+	rc      *http.ResponseController
+	timeout time.Duration
+	cancel  context.CancelFunc
+	onStall func(error)
+	failed  atomic.Bool
+}
+
+// guard runs one write under the deadline. After a failure the stream is
+// dead: further writes are dropped so the job can finish journaling its
+// terminal state without re-blocking.
+func (sv *streamSupervisor) guard(write func() error) {
+	if sv.failed.Load() {
+		return
+	}
+	if sv.timeout > 0 {
+		_ = sv.rc.SetWriteDeadline(time.Now().Add(sv.timeout))
+	}
+	if err := write(); err != nil {
+		if sv.failed.CompareAndSwap(false, true) {
+			if sv.onStall != nil {
+				sv.onStall(err)
+			}
+			if sv.cancel != nil {
+				sv.cancel()
+			}
+		}
+	}
+}
+
+// flush pushes buffered response data to the connection, tolerating
+// writers that cannot flush (http.ErrNotSupported) — they deliver on
+// handler return instead.
+func (sv *streamSupervisor) flush() error {
+	if err := sv.rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		return err
+	}
+	return nil
+}
+
 // ndjsonSink writes one JSON object per line, flushing each so clients
-// see points as they complete. A write error means the client vanished;
-// the request context cancels the grid, so errors are ignored here.
+// see points as they complete, every write supervised.
 type ndjsonSink struct {
-	enc     *json.Encoder
-	flusher http.Flusher
+	enc *json.Encoder
+	sup *streamSupervisor
 }
 
 func (s ndjsonSink) send(_ string, v any) {
-	_ = s.enc.Encode(v)
-	if s.flusher != nil {
-		s.flusher.Flush()
-	}
+	s.sup.guard(func() error {
+		if err := s.enc.Encode(v); err != nil {
+			return err
+		}
+		return s.sup.flush()
+	})
 }
 
 // sseSink frames the same records as Server-Sent Events (text/event-stream)
 // with event types start/result/done, so browsers can consume the job via
 // EventSource without a streaming-fetch polyfill.
 type sseSink struct {
-	w       io.Writer
-	flusher http.Flusher
+	w   io.Writer
+	sup *streamSupervisor
 }
 
 func (s sseSink) send(event string, v any) {
@@ -492,10 +727,12 @@ func (s sseSink) send(event string, v any) {
 	if err != nil {
 		return
 	}
-	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, b)
-	if s.flusher != nil {
-		s.flusher.Flush()
-	}
+	s.sup.guard(func() error {
+		if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return err
+		}
+		return s.sup.flush()
+	})
 }
 
 // nopSink discards the stream (resumed jobs have no client).
@@ -534,10 +771,52 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if spec.Plan == "" {
 		spec.Plan = s.cfg.DefaultPlan
 	}
+	if s.cfg.MaxJobDeadline > 0 && time.Duration(spec.DeadlineSec)*time.Second > s.cfg.MaxJobDeadline {
+		rejectJSON(w, http.StatusBadRequest, map[string]any{
+			"error":            "deadline exceeds server cap",
+			"deadline_sec":     spec.DeadlineSec,
+			"max_deadline_sec": int64(s.cfg.MaxJobDeadline / time.Second),
+		})
+		return
+	}
 	if err := s.resolveArtifact(&spec); err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+
+	// Quarantine check: a spec that crash-looped the process is refused
+	// outright, with the journaled crash report as the structured reason.
+	if prec, ok := s.poisonedFor(spec); ok {
+		s.metrics.jobsRejectedPoisoned.Add(1)
+		rejectJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":       "job spec is quarantined: previous attempts crashed the server",
+			"status":      statusPoisoned,
+			"spec_digest": prec.SpecDigest,
+			"attempts":    prec.Attempts,
+			"poisoned_at": prec.PoisonedAt,
+		})
+		return
+	}
+
+	// Admission cost governance: price the job from its spec (artifact
+	// headers only — no materialization) and refuse ruinous ones before
+	// any journal write or arena allocation.
+	est, err := EstimateJob(spec)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("workload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if ce := s.cfg.Cost.check(est); ce != nil {
+		s.metrics.jobsRejectedCost.Add(1)
+		rejectJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+			"error":     "job exceeds admission budget",
+			"reason":    ce.Reason,
+			"estimated": ce.Estimated,
+			"limit":     ce.Limit,
+		})
+		return
+	}
+
 	asCSV := false
 	if v := r.URL.Query().Get("csv"); v != "" && v != "0" && v != "false" {
 		asCSV = true
@@ -555,6 +834,19 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "tenant job quota exceeded", http.StatusTooManyRequests)
 		return
 	}
+
+	// Aggregate in-flight byte budget: admissible jobs that would jointly
+	// overcommit memory wait their turn instead of OOM-killing everyone.
+	if !s.gate.reserve(est.Bytes) {
+		s.metrics.jobsRejectedLoad.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter(s.retryAfterSeconds()))
+		rejectJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":           "estimated in-flight bytes budget exhausted",
+			"estimated_bytes": est.Bytes,
+		})
+		return
+	}
+	defer s.gate.release(est.Bytes)
 
 	// Weighted fair admission to a run slot.
 	admitStart := time.Now()
@@ -577,24 +869,45 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.jobSeq++
 	jobID := s.jobSeq
 	s.mu.Unlock()
-	s.journalJob(jobID, spec, statusRunning)
+	// Attempt-begin: journaled before runJob so a crash mid-job counts
+	// against the quarantine limit on restart.
+	s.journalJob(jobID, jobRecord{Spec: spec, Status: statusRunning, Attempts: 1})
 
+	// The job's context dies with the client — or when the stream
+	// supervisor declares the client stalled.
+	jctx, cancelJob := context.WithCancel(r.Context())
+	defer cancelJob()
+	sup := &streamSupervisor{
+		rc:      http.NewResponseController(w),
+		timeout: s.cfg.streamWriteTimeout(),
+		cancel:  cancelJob,
+		onStall: func(err error) {
+			s.metrics.streamStalls.Add(1)
+			s.logf("job %d: stream write stalled or failed, disconnecting client: %v", jobID, err)
+		},
+	}
 	var sink streamSink
-	flusher, _ := w.(http.Flusher)
 	if asSSE {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-store")
-		sink = sseSink{w: w, flusher: flusher}
+		sink = sseSink{w: w, sup: sup}
 	} else {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		sink = ndjsonSink{enc: json.NewEncoder(w), flusher: flusher}
+		sink = ndjsonSink{enc: json.NewEncoder(w), sup: sup}
 	}
 	w.Header().Set("X-Accel-Buffering", "no")
 
-	status := s.runJob(r.Context(), jobID, spec, tn, sink, asCSV, func(err error) {
+	out := s.runJob(jctx, jobID, spec, tn, sink, asCSV, func(err error) {
 		http.Error(w, fmt.Sprintf("workload: %v", err), http.StatusBadRequest)
 	})
-	s.journalJob(jobID, spec, status)
+	s.journalJob(jobID, jobRecord{Spec: spec, Status: out.status, Attempts: 1, Error: out.errMsg})
+}
+
+// rejectJSON answers a machine-readable rejection.
+func rejectJSON(w http.ResponseWriter, code int, payload map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(payload)
 }
 
 // resolveArtifact rewrites a content-addressed spec to a local path: an
@@ -628,31 +941,56 @@ func (s *Server) resolveArtifact(spec *coord.JobSpec) error {
 
 // journalJob records a job-state transition; journal trouble degrades
 // durability, not availability, so it is logged rather than failed.
-func (s *Server) journalJob(jobID int64, spec coord.JobSpec, status string) {
+func (s *Server) journalJob(jobID int64, rec jobRecord) {
 	if s.durable == nil {
 		return
 	}
-	if err := s.durable.appendJob(jobKey(jobID), jobRecord{Spec: spec, Status: status}); err != nil {
+	if err := s.durable.appendJob(jobKey(jobID), rec); err != nil {
 		s.logf("journal job %d: %v", jobID, err)
 	}
+}
+
+// jobOutcome is runJob's terminal verdict: the journal status plus the
+// structured error message (empty for clean completion) the caller
+// journals alongside it.
+type jobOutcome struct {
+	status string
+	errMsg string
 }
 
 // runJob executes one admitted job: workload lease, result-cache probe,
 // simulation with journaling and streaming, final table. onError reports
 // a failure to build the workload before anything was streamed. The
-// returned status is the job's terminal journal state.
+// returned outcome is the job's terminal journal state.
 func (s *Server) runJob(ctx context.Context, jobID int64, spec coord.JobSpec, tn *tenant,
-	sink streamSink, asCSV bool, onError func(error)) string {
+	sink streamSink, asCSV bool, onError func(error)) jobOutcome {
 	s.metrics.jobsTotal.Add(1)
 	tn.m.jobs.Add(1)
 	s.metrics.jobsActive.Add(1)
 	defer s.metrics.jobsActive.Add(-1)
 	start := time.Now()
 
+	// Test-only crash injection: go down exactly where a deterministic
+	// poison job would — after the attempt-begin journal record, before
+	// any result lands — so restart harnesses can drive the quarantine
+	// path with a real kill.
+	if s.fault.matches(spec) {
+		s.logf("fault-point %s: crashing process on job %d", s.cfg.FaultPoint, jobID)
+		os.Exit(FaultExitCode)
+	}
+
+	// A spec deadline bounds the whole run, materialization included.
+	dctx := ctx
+	if spec.DeadlineSec > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, time.Duration(spec.DeadlineSec)*time.Second)
+		defer cancel()
+	}
+
 	wl, arenaHit, err := s.arenas.Acquire(spec)
 	if err != nil {
 		onError(err)
-		return statusFailed
+		return jobOutcome{status: statusFailed, errMsg: err.Error()}
 	}
 	defer wl.Release()
 	pts := spec.Points()
@@ -714,13 +1052,30 @@ func (s *Server) runJob(ctx context.Context, jobID int64, spec coord.JobSpec, tn
 			sink.send("result", line)
 		},
 	}
-	results, runErr := runner.RunContext(ctx, pts, opts)
+	results, runErr := runner.RunContext(dctx, pts, opts)
 	if runErr != nil {
-		// Client disconnected (the only way the job context dies).
+		if errors.Is(dctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			// The job's own deadline fired while the client (or resume
+			// parent) was still alive: a runaway job, not a dead client.
+			// The final stream record carries the structured reason, the
+			// queue slot frees on return, and the journal lands
+			// failed(deadline).
+			s.metrics.jobsDeadline.Add(1)
+			msg := fmt.Sprintf("deadline exceeded after %ds", spec.DeadlineSec)
+			elapsed := time.Since(start)
+			sink.send("done", doneLine{
+				Done: true, Job: jobID, Points: len(pts), Cached: len(cached),
+				ElapsedMS: float64(elapsed.Microseconds()) / 1000, Error: msg,
+			})
+			s.logf("job %d: %s (%v elapsed)", jobID, msg, elapsed.Round(time.Millisecond))
+			return jobOutcome{status: statusFailed, errMsg: msg}
+		}
+		// Client disconnected, stream stalled past the write timeout, or
+		// the server is shutting down — the job context died.
 		s.metrics.jobsCanceled.Add(1)
 		tn.m.canceled.Add(1)
 		s.logf("job %d: canceled after %v", jobID, time.Since(start).Round(time.Millisecond))
-		return statusCanceled
+		return jobOutcome{status: statusCanceled, errMsg: "canceled"}
 	}
 
 	// Fill cache-served points into the full result set and surface
@@ -744,7 +1099,7 @@ func (s *Server) runJob(ctx context.Context, jobID int64, spec coord.JobSpec, tn
 	var table bytes.Buffer
 	if err := sweep.WriteTable(&table, results, experiments.CPUCycleNS, asCSV); err != nil {
 		s.logf("job %d: render: %v", jobID, err)
-		return statusFailed
+		return jobOutcome{status: statusFailed, errMsg: err.Error()}
 	}
 	elapsed := time.Since(start)
 	s.metrics.jobSeconds.observe(elapsed.Seconds())
@@ -758,5 +1113,5 @@ func (s *Server) runJob(ctx context.Context, jobID int64, spec coord.JobSpec, tn
 		Table:     table.String(),
 	})
 	s.logf("job %d: done in %v (%d cached, %d failed)", jobID, elapsed.Round(time.Millisecond), len(cached), failed)
-	return statusDone
+	return jobOutcome{status: statusDone}
 }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeListener feeds pre-made net.Pipe server ends to an http.Server.
+// net.Pipe is unbuffered and honors deadlines, so "the client stopped
+// reading" blocks the very next server write — no kernel TCP buffer to
+// absorb small result lines and mask the stall.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn, 1), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+// runStallScenario drives the shared stalled-client script: submit a slow
+// job over a pipe-backed connection, read only the start of the stream,
+// then stop reading entirely. The write supervisor must disconnect the
+// client within the write timeout, cancel the job, release the arena
+// lease, journal a clean terminal state, and leave Drain + Shutdown
+// unblocked.
+func runStallScenario(t *testing.T, sse bool) {
+	t.Helper()
+	const writeTimeout = 250 * time.Millisecond
+	dir := t.TempDir()
+	s := newTestServer(t, Config{StateDir: dir, StreamWriteTimeout: writeTimeout})
+	defer s.Close()
+	hs := &http.Server{Handler: s.Handler()}
+	ln := newPipeListener()
+	go hs.Serve(ln)
+
+	client, server := net.Pipe()
+	defer client.Close()
+	ln.conns <- server
+
+	path := "/jobs"
+	if sse {
+		path = "/jobs?sse=1"
+	}
+	body, err := json.Marshal(slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		path, len(body), body)
+	if _, err := client.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read until the start line has arrived, then go silent — the stall.
+	client.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var got []byte
+	tmp := make([]byte, 256)
+	for !bytes.Contains(got, []byte(`"workload"`)) {
+		n, err := client.Read(tmp)
+		if err != nil {
+			t.Fatalf("reading stream prefix: %v (got %q)", err, got)
+		}
+		got = append(got, tmp[:n]...)
+	}
+
+	waitFor(t, "stall detection", func() bool { return s.metrics.streamStalls.Load() == 1 })
+	waitFor(t, "job cancellation", func() bool { return s.metrics.jobsCanceled.Load() == 1 })
+	waitFor(t, "slot release", func() bool { return s.metrics.jobsActive.Load() == 0 })
+	waitFor(t, "arena lease release", func() bool { return s.arenas.Stats().Pinned == 0 })
+
+	// Drain and shutdown complete promptly despite the dead client still
+	// holding its end of the pipe.
+	s.Drain()
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown blocked by stalled client: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Shutdown took %v with a stalled client, want well under the harness bound", elapsed)
+	}
+
+	// The journal records a clean terminal state for the abandoned job.
+	rec, ok := loadJobRecord(t, dir, 1)
+	if !ok {
+		t.Fatal("no journaled record for the stalled job")
+	}
+	if rec.Status != statusCanceled {
+		t.Errorf("stalled job terminal status = %q, want %q", rec.Status, statusCanceled)
+	}
+}
+
+// TestStalledClientNDJSON: a client that stops reading mid-NDJSON cannot
+// pin an arena or block Drain past the write timeout.
+func TestStalledClientNDJSON(t *testing.T) { runStallScenario(t, false) }
+
+// TestStalledClientSSE: same contract for the SSE framing.
+func TestStalledClientSSE(t *testing.T) { runStallScenario(t, true) }

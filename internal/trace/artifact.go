@@ -418,27 +418,42 @@ func openCopied(f *os.File, path string, count int64, crc uint32) (*Artifact, er
 // the CRC-32C it declares for the record region — the cheap (32-byte read)
 // content identity for cache keys, without mapping or validating the body.
 func ArtifactChecksum(path string) (uint32, error) {
+	_, crc, err := artifactHeaderStat(path)
+	return crc, err
+}
+
+// ArtifactRefs reads just the header of an artifact file and returns the
+// record count it declares — how the admission cost model sizes a workload
+// for a few dozen bytes of I/O, without mapping or validating the body.
+func ArtifactRefs(path string) (int64, error) {
+	count, _, err := artifactHeaderStat(path)
+	return count, err
+}
+
+// artifactHeaderStat opens path, validates its 32-byte header against the
+// file size, and returns the declared record count and CRC-32C.
+func artifactHeaderStat(path string) (int64, uint32, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var hdr [artifactHeaderSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, fmt.Errorf("trace: %s: artifact header truncated (%w)", path, ErrCorrupt)
+			return 0, 0, fmt.Errorf("trace: %s: artifact header truncated (%w)", path, ErrCorrupt)
 		}
-		return 0, err
+		return 0, 0, err
 	}
-	_, crc, err := parseArtifactHeader(hdr[:], st.Size())
+	count, crc, err := parseArtifactHeader(hdr[:], st.Size())
 	if err != nil {
-		return 0, fmt.Errorf("trace: %s: %w", path, err)
+		return 0, 0, fmt.Errorf("trace: %s: %w", path, err)
 	}
-	return crc, nil
+	return count, crc, nil
 }
 
 // isCorruptArtifact distinguishes "the file's bytes are bad" from "this

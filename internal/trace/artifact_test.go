@@ -467,3 +467,32 @@ func TestArtifactChecksumHeaderOnly(t *testing.T) {
 		t.Errorf("ArtifactChecksum on damaged header = %v, want ErrCorrupt", err)
 	}
 }
+
+// TestArtifactRefsHeaderOnly: the record-count accessor reads only the
+// header, agrees with a full open, and treats damage as ErrCorrupt — the
+// contract the serve admission cost model leans on.
+func TestArtifactRefsHeaderOnly(t *testing.T) {
+	refs := sampleRefs(137)
+	path := writeTempArtifact(t, refs)
+
+	n, err := ArtifactRefs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(refs)) {
+		t.Errorf("ArtifactRefs = %d, want %d", n, len(refs))
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	bad := filepath.Join(t.TempDir(), "bad.mlca")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ArtifactRefs(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ArtifactRefs on damaged header = %v, want ErrCorrupt", err)
+	}
+}
