@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mlcache/internal/store"
+	"mlcache/internal/store/backend"
+)
+
+func openFS(t *testing.T, dir string) backend.Backend {
+	t.Helper()
+	b, err := openBackend("fs", dir, backend.S3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestOpenBackendSelection(t *testing.T) {
+	if _, err := openBackend("", "", backend.S3Config{}); err == nil {
+		t.Fatal("no flags accepted")
+	}
+	if _, err := openBackend("gcs", t.TempDir(), backend.S3Config{}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if _, err := openBackend("s3", "", backend.S3Config{}); err == nil {
+		t.Fatal("s3 without endpoint accepted")
+	}
+	// Inference: -dir alone is fs; -dir plus an endpoint is tiered.
+	b, err := openBackend("", t.TempDir(), backend.S3Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*backend.FS); !ok {
+		t.Fatalf("dir-only backend is %T, want *backend.FS", b)
+	}
+	b, err = openBackend("", t.TempDir(), backend.S3Config{
+		Endpoint: "https://s3.example.com", Bucket: "b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.(*backend.Tiered); !ok {
+		t.Fatalf("dir+endpoint backend is %T, want *backend.Tiered", b)
+	}
+	// The plaintext-credential refusal reaches the CLI unchanged.
+	_, err = openBackend("s3", "", backend.S3Config{
+		Endpoint: "http://s3.example.com", Bucket: "b",
+		AccessKey: "AKTEST", SecretKey: "sekrit",
+	})
+	if err == nil || !strings.Contains(err.Error(), "plaintext") {
+		t.Fatalf("plaintext credentials: %v", err)
+	}
+}
+
+func TestAddVerifyGCRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b := openFS(t, dir)
+
+	// add: two files land under their digests.
+	src := filepath.Join(t.TempDir(), "a.bin")
+	if err := os.WriteFile(src, bytes.Repeat([]byte("alpha"), 400), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdd(ctx, b, []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := store.DigestFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStat(ctx, b, []string{d.String()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify(ctx, b, nil, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the object in place: verify must fail loudly.
+	path, err := b.(*backend.FS).Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify(ctx, b, nil, true); err == nil {
+		t.Fatal("verify passed a corrupt object")
+	}
+
+	// gc dry run touches nothing even with zero grace; apply reclaims the
+	// unrooted object.
+	old := time.Now().Add(-2 * time.Hour)
+	os.Chtimes(path, old, old)
+	if err := cmdGC(ctx, b, []string{"-dry-run"}, "", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.(*backend.FS).Resolve(d); err != nil {
+		t.Fatal("dry-run gc deleted the object")
+	}
+	if err := cmdGC(ctx, b, []string{"-apply"}, "", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.(*backend.FS).Resolve(d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("apply gc kept the garbage: %v", err)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"mlcache/internal/prof"
 	"mlcache/internal/serve"
 	"mlcache/internal/store"
+	"mlcache/internal/store/backend"
 	"mlcache/internal/sweep"
 )
 
@@ -73,6 +74,16 @@ type options struct {
 	streamTimeout time.Duration
 	faultPoint    string
 	sec           store.Security
+
+	artifactBackend string // "", "fs", "s3", or "tiered"
+	s3Endpoint      string
+	s3Bucket        string
+	s3Prefix        string
+	s3Region        string
+	s3AccessKey     string
+	s3SecretKey     string
+	gcInterval      time.Duration
+	gcGrace         time.Duration
 }
 
 // validate rejects unusable flag combinations up front — an unwritable
@@ -126,6 +137,32 @@ func validate(o options) (*serve.Tenants, error) {
 		}
 		os.Remove(probe)
 	}
+	switch o.artifactBackend {
+	case "":
+		// Legacy path: -artifact-store alone means a plain local directory.
+	case "fs":
+		if o.artifactDir == "" {
+			return nil, fmt.Errorf("-artifact-backend fs needs -artifact-store DIR")
+		}
+	case "s3", "tiered":
+		if o.s3Endpoint == "" || o.s3Bucket == "" {
+			return nil, fmt.Errorf("-artifact-backend %s needs -s3-endpoint and -s3-bucket", o.artifactBackend)
+		}
+		if o.artifactBackend == "tiered" && o.artifactDir == "" {
+			return nil, fmt.Errorf("-artifact-backend tiered needs -artifact-store DIR for the persistent local tier")
+		}
+		if (o.s3AccessKey == "") != (o.s3SecretKey == "") {
+			return nil, fmt.Errorf("-s3-access-key and -s3-secret-key must be set together")
+		}
+	default:
+		return nil, fmt.Errorf("-artifact-backend must be fs, s3, or tiered, got %q", o.artifactBackend)
+	}
+	if o.gcInterval < 0 {
+		return nil, fmt.Errorf("-store-gc-interval must be non-negative, got %v", o.gcInterval)
+	}
+	if o.gcGrace < 0 {
+		return nil, fmt.Errorf("-store-gc-grace must be non-negative, got %v", o.gcGrace)
+	}
 	if err := o.sec.CheckServer(); err != nil {
 		return nil, err
 	}
@@ -142,6 +179,56 @@ func validate(o options) (*serve.Tenants, error) {
 		return nil, fmt.Errorf("-tenants-config: %v", err)
 	}
 	return tenants, nil
+}
+
+// buildArtifacts constructs the artifact backend named by
+// -artifact-backend, or nil for the legacy -artifact-store directory
+// path (serve.New opens that itself). The serve layer mmaps artifacts
+// from local paths, so the s3 mode is a tiered composition too: the
+// bucket is the source of truth and a local cache directory (under
+// -artifact-store, or -state-dir/artifact-cache, or a temp dir) holds
+// what this process touches. Credential safety rides on backend.NewS3:
+// keys over plaintext HTTP are refused unless -insecure.
+func buildArtifacts(o options) (backend.Store, string, error) {
+	switch o.artifactBackend {
+	case "":
+		return nil, "", nil
+	case "fs":
+		fs, err := store.OpenFileStore(o.artifactDir)
+		if err != nil {
+			return nil, "", fmt.Errorf("-artifact-store %s: %w", o.artifactDir, err)
+		}
+		return backend.NewFS(fs), "fs " + o.artifactDir, nil
+	}
+	s3, err := backend.NewS3(backend.S3Config{
+		Endpoint:  o.s3Endpoint,
+		Bucket:    o.s3Bucket,
+		Prefix:    o.s3Prefix,
+		Region:    o.s3Region,
+		AccessKey: o.s3AccessKey,
+		SecretKey: o.s3SecretKey,
+		Insecure:  o.sec.Insecure,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	dir := o.artifactDir
+	if dir == "" && o.stateDir != "" {
+		dir = filepath.Join(o.stateDir, "artifact-cache")
+	}
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "mlcserve-artifacts-*")
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	local, err := store.OpenFileStore(dir)
+	if err != nil {
+		return nil, "", fmt.Errorf("local tier %s: %w", dir, err)
+	}
+	desc := fmt.Sprintf("%s %s/%s (local tier %s)", o.artifactBackend, o.s3Endpoint, o.s3Bucket, dir)
+	return backend.NewTiered(local, s3), desc, nil
 }
 
 func main() {
@@ -161,6 +248,15 @@ func main() {
 		anonRate     = flag.Float64("tenant-rate", 0, "anonymous-tenant admission rate in jobs/sec without -tenants-config (0 = unlimited)")
 		anonBurst    = flag.Int("tenant-burst", 0, "anonymous-tenant admission burst (0 = rate-derived)")
 		artifactDir  = flag.String("artifact-store", "", "serve and accept content-addressed trace artifacts under /artifacts/ from this directory")
+		artifactBE   = flag.String("artifact-backend", "", "artifact backend: fs (local directory), s3 (remote bucket, local scratch cache), or tiered (persistent -artifact-store cache over the bucket); empty = plain -artifact-store directory")
+		s3Endpoint   = flag.String("s3-endpoint", "", "S3-compatible endpoint URL, e.g. https://s3.example.com:9000")
+		s3Bucket     = flag.String("s3-bucket", "", "bucket holding the artifact objects")
+		s3Prefix     = flag.String("s3-prefix", "", "object key prefix inside the bucket (default mlca/)")
+		s3Region     = flag.String("s3-region", "", "SigV4 signing region (default us-east-1)")
+		s3AccessKey  = flag.String("s3-access-key", "", "S3 access key ID (or env MLCA_S3_ACCESS_KEY); empty = unsigned requests")
+		s3SecretKey  = flag.String("s3-secret-key", "", "S3 secret key (or env MLCA_S3_SECRET_KEY; the env var keeps it out of process listings)")
+		gcInterval   = flag.Duration("store-gc-interval", 0, "run artifact-store GC cycles this often (0 = never)")
+		gcGrace      = flag.Duration("store-gc-grace", time.Hour, "never collect objects younger than this")
 		tlsCert      = flag.String("tls-cert", "", "serve HTTPS with this PEM certificate (with -tls-key)")
 		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
 		insecure     = flag.Bool("insecure", false, "allow API keys over plaintext HTTP (testing only)")
@@ -180,14 +276,30 @@ func main() {
 	flag.Parse()
 
 	sec := store.Security{CertFile: *tlsCert, KeyFile: *tlsKey, Insecure: *insecure}
-	tenants, err := validate(options{
+	if *s3AccessKey == "" {
+		*s3AccessKey = os.Getenv("MLCA_S3_ACCESS_KEY")
+	}
+	if *s3SecretKey == "" {
+		*s3SecretKey = os.Getenv("MLCA_S3_SECRET_KEY")
+	}
+	opts := options{
 		jobs: *jobs, queue: *queue, arenaBudget: *arenaBudget,
 		stateDir: *stateDir, artifactDir: *artifactDir, journalMaxMB: *journalMax,
 		tenantsPath: *tenantsPath, anonRate: *anonRate, anonBurst: *anonBurst,
 		plan: *plan, maxAttempts: *maxAttempts, maxJobBytes: *maxJobBytes,
 		maxJobCost: *maxJobCost, maxInflight: *maxInflight, maxDeadline: *maxDeadline,
 		streamTimeout: *streamWrite, faultPoint: *faultPoint, sec: sec,
-	})
+		artifactBackend: *artifactBE, s3Endpoint: *s3Endpoint, s3Bucket: *s3Bucket,
+		s3Prefix: *s3Prefix, s3Region: *s3Region,
+		s3AccessKey: *s3AccessKey, s3SecretKey: *s3SecretKey,
+		gcInterval: *gcInterval, gcGrace: *gcGrace,
+	}
+	tenants, err := validate(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
+		os.Exit(2)
+	}
+	artifacts, backendDesc, err := buildArtifacts(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mlcserve: %v\n", err)
 		os.Exit(2)
@@ -214,6 +326,7 @@ func main() {
 		ResultCachePoints: *resultPoints,
 		StateDir:          *stateDir,
 		ArtifactDir:       *artifactDir,
+		Artifacts:         artifacts,
 		JournalMaxBytes:   *journalMax << 20,
 		Tenants:           tenants,
 		AnonRatePerSec:    *anonRate,
@@ -240,6 +353,9 @@ func main() {
 	if n := s.ResumeInterrupted(); n > 0 {
 		log.Printf("resuming %d interrupted jobs from %s", n, *stateDir)
 	}
+	if backendDesc != "" {
+		log.Printf("artifact backend: %s", backendDesc)
+	}
 
 	if *faultPoint != "" {
 		log.Printf("WARNING: -fault-point %s armed; this process will crash on matching jobs (testing only)", *faultPoint)
@@ -258,6 +374,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *gcInterval > 0 && (artifacts != nil || *artifactDir != "") {
+		s.StartArtifactGC(ctx, *gcInterval, *gcGrace)
+		log.Printf("artifact gc: every %v, grace %v", *gcInterval, *gcGrace)
+	}
 
 	serveErr := make(chan error, 1)
 	scheme := "http"

@@ -73,6 +73,48 @@ func TestValidateRejectsBadFlagCombinations(t *testing.T) {
 			func(o *options) { o.sec.CertFile = "server.pem" },
 			"both a certificate and a key",
 		},
+		{
+			"unknown artifact backend",
+			func(o *options) { o.artifactBackend = "gcs" },
+			"-artifact-backend",
+		},
+		{
+			"fs backend without a store dir",
+			func(o *options) { o.artifactBackend = "fs" },
+			"-artifact-store",
+		},
+		{
+			"s3 backend without endpoint",
+			func(o *options) { o.artifactBackend = "s3"; o.s3Bucket = "b" },
+			"-s3-endpoint",
+		},
+		{
+			"tiered backend without local tier",
+			func(o *options) {
+				o.artifactBackend = "tiered"
+				o.s3Endpoint, o.s3Bucket = "https://s3.example.com", "b"
+			},
+			"-artifact-store",
+		},
+		{
+			"access key without secret",
+			func(o *options) {
+				o.artifactBackend = "s3"
+				o.s3Endpoint, o.s3Bucket = "https://s3.example.com", "b"
+				o.s3AccessKey = "AKTEST"
+			},
+			"set together",
+		},
+		{
+			"negative gc interval",
+			func(o *options) { o.gcInterval = -time.Minute },
+			"-store-gc-interval",
+		},
+		{
+			"negative gc grace",
+			func(o *options) { o.gcGrace = -time.Minute },
+			"-store-gc-grace",
+		},
 	}
 	for _, tc := range cases {
 		o := goodOptions()
@@ -122,5 +164,48 @@ func TestValidateAcceptsWorkingConfigs(t *testing.T) {
 	}
 	if tenants == nil {
 		t.Fatal("validate returned a nil tenant table for a valid config")
+	}
+}
+
+func TestBuildArtifactsBackends(t *testing.T) {
+	// Empty selection: legacy directory path, no backend constructed.
+	if b, _, err := buildArtifacts(goodOptions()); err != nil || b != nil {
+		t.Fatalf("empty backend: %v, %v", b, err)
+	}
+
+	// fs: wraps the artifact directory.
+	o := goodOptions()
+	o.artifactBackend = "fs"
+	o.artifactDir = t.TempDir()
+	if b, desc, err := buildArtifacts(o); err != nil || b == nil {
+		t.Fatalf("fs backend: %v, %v", b, err)
+	} else if !strings.Contains(desc, o.artifactDir) {
+		t.Fatalf("fs description %q does not name the directory", desc)
+	}
+
+	// Credentials over plaintext HTTP are refused before any request.
+	o = goodOptions()
+	o.artifactBackend = "s3"
+	o.s3Endpoint, o.s3Bucket = "http://s3.example.com", "traces"
+	o.s3AccessKey, o.s3SecretKey = "AKTEST", "sekrit"
+	if _, _, err := buildArtifacts(o); err == nil || !strings.Contains(err.Error(), "plaintext") {
+		t.Fatalf("plaintext credentials accepted: %v", err)
+	}
+	// ... unless -insecure says the operator knows (tests, localhost).
+	o.sec.Insecure = true
+	o.stateDir = t.TempDir()
+	b, desc, err := buildArtifacts(o)
+	if err != nil || b == nil {
+		t.Fatalf("insecure s3 backend: %v, %v", b, err)
+	}
+	if !strings.Contains(desc, "artifact-cache") {
+		t.Fatalf("s3 scratch tier not under state dir: %q", desc)
+	}
+
+	// tiered: the artifact dir is the persistent local tier.
+	o.artifactBackend = "tiered"
+	o.artifactDir = t.TempDir()
+	if _, desc, err := buildArtifacts(o); err != nil || !strings.Contains(desc, o.artifactDir) {
+		t.Fatalf("tiered backend: %q, %v", desc, err)
 	}
 }

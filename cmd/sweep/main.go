@@ -71,6 +71,7 @@ import (
 	"mlcache/internal/experiments"
 	"mlcache/internal/prof"
 	"mlcache/internal/store"
+	"mlcache/internal/store/backend"
 	"mlcache/internal/sweep"
 	"mlcache/internal/trace"
 )
@@ -113,6 +114,12 @@ func main() {
 		cacheDir   = flag.String("artifact-cache", "", "with -join: directory for the content-addressed artifact cache (default <user cache dir>/mlcache/artifacts)")
 		cacheMB    = flag.Int64("artifact-cache-mb", 4096, "with -join: artifact cache budget in MiB")
 		throttle   = flag.Int64("fetch-throttle-bps", 0, "with -join: cap artifact download throughput in bytes/sec (0 = unlimited)")
+		s3Endpoint = flag.String("s3-endpoint", "", "with -join: fetch artifacts from this S3-compatible endpoint instead of the coordinator")
+		s3Bucket   = flag.String("s3-bucket", "", "with -join -s3-endpoint: bucket holding the artifact objects")
+		s3Prefix   = flag.String("s3-prefix", "", "with -join -s3-endpoint: object key prefix (default mlca/)")
+		s3Region   = flag.String("s3-region", "", "with -join -s3-endpoint: SigV4 signing region (default us-east-1)")
+		s3Access   = flag.String("s3-access-key", "", "with -join -s3-endpoint: access key ID (or env MLCA_S3_ACCESS_KEY)")
+		s3Secret   = flag.String("s3-secret-key", "", "with -join -s3-endpoint: secret key (or env MLCA_S3_SECRET_KEY)")
 		token      = flag.String("token", "", "bearer token: required of clients with -serve, presented to the coordinator with -join")
 		tlsCert    = flag.String("tls-cert", "", "with -serve: TLS certificate file (enables HTTPS)")
 		tlsKey     = flag.String("tls-key", "", "with -serve: TLS key file")
@@ -144,9 +151,17 @@ func main() {
 		if *serve != "" {
 			log.Fatal("-serve and -join are mutually exclusive")
 		}
+		if *s3Access == "" {
+			*s3Access = os.Getenv("MLCA_S3_ACCESS_KEY")
+		}
+		if *s3Secret == "" {
+			*s3Secret = os.Getenv("MLCA_S3_SECRET_KEY")
+		}
 		wo := workerOptions{
 			id: *workerID, par: *par, retries: *retries,
 			cacheDir: *cacheDir, cacheMB: *cacheMB, throttleBPS: *throttle, sec: sec,
+			s3Endpoint: *s3Endpoint, s3Bucket: *s3Bucket, s3Prefix: *s3Prefix,
+			s3Region: *s3Region, s3AccessKey: *s3Access, s3SecretKey: *s3Secret,
 		}
 		if err := runWorker(ctx, *join, wo); err != nil && !errors.Is(err, context.Canceled) {
 			log.Fatal(err)
@@ -245,6 +260,16 @@ type workerOptions struct {
 	cacheMB     int64
 	throttleBPS int64
 	sec         store.Security
+
+	// s3Endpoint, when set, points cache fills at a bucket instead of the
+	// coordinator's /artifacts/ endpoint, so a large fleet does not funnel
+	// every cold fetch through one process.
+	s3Endpoint  string
+	s3Bucket    string
+	s3Prefix    string
+	s3Region    string
+	s3AccessKey string
+	s3SecretKey string
 }
 
 // runWorker joins a coordinator and simulates leased shards until the grid
@@ -293,6 +318,23 @@ func runWorker(ctx context.Context, addr string, wo workerOptions) error {
 		Artifacts:        cache,
 		FetchThrottleBPS: wo.throttleBPS,
 		Logf:             log.Printf,
+	}
+	if wo.s3Endpoint != "" {
+		s3, err := backend.NewS3(backend.S3Config{
+			Endpoint:  wo.s3Endpoint,
+			Bucket:    wo.s3Bucket,
+			Prefix:    wo.s3Prefix,
+			Region:    wo.s3Region,
+			AccessKey: wo.s3AccessKey,
+			SecretKey: wo.s3SecretKey,
+			Insecure:  wo.sec.Insecure,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		w.Fetch = backend.Fetcher{B: s3}
+		log.Printf("worker %s: filling artifact cache from %s/%s", id, wo.s3Endpoint, wo.s3Bucket)
 	}
 	err = w.Run(ctx)
 	if st := cache.Stats(); st.Fetches > 0 || st.Hits > 0 {
@@ -365,16 +407,18 @@ func runCoordinator(ctx context.Context, addr string, cfg coord.Config, co coord
 	if d := cfg.Job.Digest(); !d.IsZero() {
 		sources = append(sources, store.Static{d: cfg.Job.TracePath})
 	}
-	var uploads *store.FileStore
+	artifacts := &store.Handler{Source: sources, Logf: log.Printf}
 	if co.publishDir != "" {
-		uploads, err = store.OpenFileStore(co.publishDir)
+		uploads, err := store.OpenFileStore(co.publishDir)
 		if err != nil {
 			log.Fatal(err)
 		}
 		sources = append(sources, uploads)
+		artifacts.Source = sources
+		artifacts.Uploads = uploads
 	}
 	root := http.NewServeMux()
-	root.Handle(store.PathArtifacts, &store.Handler{Source: sources, Uploads: uploads, Logf: log.Printf})
+	root.Handle(store.PathArtifacts, artifacts)
 	root.Handle("/", c.Handler())
 
 	// Same slowloris hardening as cmd/mlcserve: bound header reads, header

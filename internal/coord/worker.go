@@ -49,6 +49,11 @@ type Worker struct {
 	// /artifacts/ endpoint over the same Client (same TLS and auth). A nil
 	// cache limits the worker to path- or synthetic-trace jobs.
 	Artifacts *store.Cache
+	// Fetch, when non-nil, overrides where cache misses are filled from —
+	// e.g. a backend.Fetcher over an S3 backend, so a fleet pulls straight
+	// from the bucket instead of funneling through the coordinator. The
+	// cache's digest verification applies either way.
+	Fetch store.Fetcher
 	// FetchThrottleBPS caps artifact download throughput (0 = unlimited);
 	// a fault-injection knob for the transfer chaos tests.
 	FetchThrottleBPS int64
@@ -166,11 +171,14 @@ func (w *Worker) buildRunner(ctx context.Context, job JobSpec) (sweep.Runner, in
 	if w.Artifacts == nil {
 		return sweep.Runner{}, 0, nil, fmt.Errorf("job trace is content-addressed (%s) but this worker has no artifact cache; run it with one", d)
 	}
-	src := &store.Client{
-		Base:        w.Coordinator,
-		HTTPClient:  w.Client,
-		ThrottleBPS: w.FetchThrottleBPS,
-		Logf:        w.Logf,
+	src := w.Fetch
+	if src == nil {
+		src = &store.Client{
+			Base:        w.Coordinator,
+			HTTPClient:  w.Client,
+			ThrottleBPS: w.FetchThrottleBPS,
+			Logf:        w.Logf,
+		}
 	}
 	art, err := w.Artifacts.Open(ctx, src, d, job.ArtifactCRC)
 	if err != nil {

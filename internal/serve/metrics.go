@@ -83,6 +83,10 @@ type metrics struct {
 	pointsFailed   atomic.Int64
 	refsTotal      atomic.Int64 // references simulated
 
+	gcSweeps         atomic.Int64 // artifact GC cycles applied (not dry runs)
+	gcReclaimed      atomic.Int64 // objects reclaimed by artifact GC
+	gcReclaimedBytes atomic.Int64 // bytes reclaimed by artifact GC
+
 	jobSeconds *histogram
 }
 

@@ -71,6 +71,7 @@ import (
 	"mlcache/internal/experiments"
 	"mlcache/internal/memsys"
 	"mlcache/internal/store"
+	"mlcache/internal/store/backend"
 	"mlcache/internal/sweep"
 )
 
@@ -104,6 +105,13 @@ type Config struct {
 	// ArtifactDigest instead of a path. Tenant authentication, when
 	// configured, covers the artifact endpoints too.
 	ArtifactDir string
+	// Artifacts, when non-nil, supplies the artifact store backend
+	// directly — a backend.FS, or a backend.Tiered composing a local
+	// persistent cache over a remote S3 tier — and takes precedence over
+	// ArtifactDir. The backend must be serve-capable (implement
+	// store.Resolver) because jobs mmap their artifacts from local paths;
+	// a tiered backend satisfies this by verified read-through promotion.
+	Artifacts backend.Store
 	// JournalMaxBytes is the journal segment rotation threshold
 	// (default 64 MiB).
 	JournalMaxBytes int64
@@ -204,7 +212,11 @@ type Server struct {
 	metrics   *metrics
 	queue     *fairQueue
 	durable   *durable
-	artifacts *store.FileStore
+	artifacts backend.Store
+
+	// artifactRoots is the live GC mark set: every digest a journaled or
+	// submitted job spec referenced. Guarded by mu.
+	artifactRoots map[store.Digest]bool
 
 	// byKey/byName index the runtime tenants; sorted is the stable order
 	// for /metrics. anon is the single open-access tenant when no tenant
@@ -313,12 +325,15 @@ func New(cfg Config) (*Server, error) {
 		s.byName[s.anon.name] = s.anon
 		s.sorted = []*tenant{s.anon}
 	}
-	if cfg.ArtifactDir != "" {
+	switch {
+	case cfg.Artifacts != nil:
+		s.artifacts = cfg.Artifacts
+	case cfg.ArtifactDir != "":
 		fs, err := store.OpenFileStore(cfg.ArtifactDir)
 		if err != nil {
 			return nil, err
 		}
-		s.artifacts = fs
+		s.artifacts = backend.NewFS(fs)
 	}
 	if cfg.StateDir != "" {
 		d, resultsSet, jobsSet, err := openDurable(cfg.StateDir, cfg.JournalMaxBytes)
@@ -348,6 +363,11 @@ func New(cfg Config) (*Server, error) {
 			var rec jobRecord
 			if err := json.Unmarshal(raw, &rec); err != nil {
 				continue
+			}
+			if rec.Spec.ArtifactDigest != "" {
+				if d, err := store.ParseDigest(rec.Spec.ArtifactDigest); err == nil {
+					s.addArtifactRoot(d)
+				}
 			}
 			switch rec.Status {
 			case statusRunning:
@@ -392,7 +412,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.artifacts != nil {
 		mux.Handle(store.PathArtifacts, s.requireTenant(&store.Handler{
-			Source: s.artifacts, Uploads: s.artifacts, Logf: s.cfg.Logf,
+			Source: s.artifacts, Uploads: backend.Sink{B: s.artifacts}, Logf: s.cfg.Logf,
 		}))
 	}
 	return mux
@@ -547,6 +567,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writePrometheus(w, s.arenas.Stats(), s.pool.Stats(), s.sorted)
+	s.writeStoreMetrics(w)
 }
 
 // retryAfterSeconds estimates when a queue slot may free up: the mean job
@@ -936,6 +957,7 @@ func (s *Server) resolveArtifact(spec *coord.JobSpec) error {
 		return fmt.Errorf("artifact %s not published to this server: PUT it to %s%s first", d, store.PathArtifacts, d)
 	}
 	spec.TracePath = path
+	s.addArtifactRoot(d)
 	return nil
 }
 
@@ -969,6 +991,16 @@ func (s *Server) runJob(ctx context.Context, jobID int64, spec coord.JobSpec, tn
 	s.metrics.jobsActive.Add(1)
 	defer s.metrics.jobsActive.Add(-1)
 	start := time.Now()
+
+	// Live-job GC root: pin the spec's artifact with the backend so a
+	// concurrent collection cycle cannot reclaim it mid-simulation, even
+	// if the root set it marked with was stale.
+	if pins, ok := s.artifacts.(backend.Pins); ok && spec.ArtifactDigest != "" {
+		if d, err := store.ParseDigest(spec.ArtifactDigest); err == nil {
+			pins.Pin(d)
+			defer pins.Unpin(d)
+		}
+	}
 
 	// Test-only crash injection: go down exactly where a deterministic
 	// poison job would — after the attempt-begin journal record, before

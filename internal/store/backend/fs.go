@@ -1,0 +1,101 @@
+package backend
+
+import (
+	"context"
+	"io"
+	"os"
+	"sync"
+
+	"mlcache/internal/store"
+)
+
+// FS adapts the local FileStore directory to the Backend interface: the
+// single-tier configuration every deployment starts from, and the local
+// tier Tiered composes. Verification stays where it always was — inside
+// FileStore.Put's hash-before-rename commit.
+type FS struct {
+	Local *store.FileStore
+
+	mu   sync.Mutex
+	pins pinSet
+}
+
+// NewFS wraps an open FileStore.
+func NewFS(s *store.FileStore) *FS { return &FS{Local: s} }
+
+var _ Store = (*FS)(nil)
+var _ Pins = (*FS)(nil)
+
+// Get implements Backend. The stream is the committed local file, so it
+// is already verified content.
+func (b *FS) Get(_ context.Context, d store.Digest) (io.ReadCloser, error) {
+	path, err := b.Local.Resolve(d)
+	if err != nil {
+		return nil, err
+	}
+	return os.Open(path)
+}
+
+// Put implements Backend via FileStore's verified staged commit.
+func (b *FS) Put(_ context.Context, d store.Digest, r io.Reader, _ int64) (int64, error) {
+	return b.Local.Put(r, d)
+}
+
+// Head implements Backend.
+func (b *FS) Head(_ context.Context, d store.Digest) (ObjectInfo, error) {
+	size, mod, err := b.Local.Stat(d)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	return ObjectInfo{Digest: d, Size: size, ModTime: mod}, nil
+}
+
+// List implements Backend.
+func (b *FS) List(_ context.Context, fn func(ObjectInfo) error) error {
+	digests, err := b.Local.List()
+	if err != nil {
+		return err
+	}
+	for _, d := range digests {
+		size, mod, err := b.Local.Stat(d)
+		if err != nil {
+			// Raced a concurrent delete; the object is gone, not an error.
+			continue
+		}
+		if err := fn(ObjectInfo{Digest: d, Size: size, ModTime: mod}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete implements Backend.
+func (b *FS) Delete(_ context.Context, d store.Digest) error {
+	return b.Local.Delete(d)
+}
+
+// Resolve implements store.Resolver, making FS a serve-capable Store.
+func (b *FS) Resolve(d store.Digest) (string, error) {
+	return b.Local.Resolve(d)
+}
+
+// Pin implements Pins.
+func (b *FS) Pin(d store.Digest) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pins.pin(d)
+}
+
+// Unpin implements Pins.
+func (b *FS) Unpin(d store.Digest) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pins.unpin(d)
+}
+
+// Pinned implements Pins.
+func (b *FS) Pinned() map[store.Digest]bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pins.snapshot()
+}

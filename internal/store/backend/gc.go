@@ -1,0 +1,141 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"mlcache/internal/store"
+)
+
+// Mark-and-sweep garbage collection of unreferenced objects. The mark
+// set is assembled by the caller — digests referenced by live serve
+// jobs, journaled job specs, and pinned cache entries — because only
+// the serving layer knows what "referenced" means; the sweep here is
+// purely mechanical. Concurrency safety rests on two invariants rather
+// than a stop-the-world pause:
+//
+//  1. Pin-awareness: an object pinned at sweep time is kept, whatever
+//     the root set says. Fills and uploads pin before they touch the
+//     store, so an in-flight transfer cannot lose its object.
+//  2. Grace window: an object younger than Grace is kept
+//     unconditionally. A promotion or upload that committed between
+//     the mark and the sweep has a fresh ModTime and slides under the
+//     window; the reference that justifies it becomes visible to the
+//     next cycle's mark.
+//
+// Deleting an object that a *stale* root set still wanted is therefore
+// impossible; deleting one that a *future* job will want merely costs
+// that job a refetch — content addressing makes GC safe to be wrong in
+// exactly one direction.
+
+// GCOptions configures one collection cycle.
+type GCOptions struct {
+	// Roots are the digests reachable from live references; never swept.
+	Roots map[store.Digest]bool
+	// Pins supplies in-flight pinned digests, consulted at sweep time
+	// (not mark time, so late pins still protect). Nil means no pins.
+	Pins Pins
+	// Grace keeps objects modified within this window (default 1h,
+	// minimum enforced; 0 means the default — a GC with no grace window
+	// is only safe in tests, which set Now instead).
+	Grace time.Duration
+	// Now anchors the grace window (zero means time.Now()).
+	Now time.Time
+	// DryRun reports what would be reclaimed without deleting.
+	DryRun bool
+	// Logf receives per-object decisions; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// GCReport is the outcome of one collection cycle.
+type GCReport struct {
+	// Scanned counts objects enumerated; ScannedBytes their total size.
+	Scanned      int
+	ScannedBytes int64
+	// KeptRoots/KeptPinned/KeptGrace count objects retained and why; an
+	// object is counted once under the first reason that applied.
+	KeptRoots, KeptPinned, KeptGrace int
+	// Reclaimed counts objects deleted (or, DryRun, deletable);
+	// ReclaimedBytes their total size.
+	Reclaimed      int
+	ReclaimedBytes int64
+	// Candidates lists the reclaimed digests, sorted, for dry-run review.
+	Candidates []store.Digest
+	// DryRun echoes the option.
+	DryRun bool
+}
+
+// GC runs one mark-and-sweep cycle over b.
+func GC(ctx context.Context, b Backend, opts GCOptions) (GCReport, error) {
+	if opts.Grace <= 0 {
+		opts.Grace = time.Hour
+	}
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	report := GCReport{DryRun: opts.DryRun}
+	type victim struct {
+		d    store.Digest
+		size int64
+	}
+	var victims []victim
+	err := b.List(ctx, func(info ObjectInfo) error {
+		report.Scanned++
+		report.ScannedBytes += info.Size
+		if opts.Roots[info.Digest] {
+			report.KeptRoots++
+			return nil
+		}
+		if !info.ModTime.IsZero() && now.Sub(info.ModTime) < opts.Grace {
+			report.KeptGrace++
+			logf("backend: gc: keep %s (age %s < grace %s)", info.Digest,
+				now.Sub(info.ModTime).Round(time.Second), opts.Grace)
+			return nil
+		}
+		victims = append(victims, victim{info.Digest, info.Size})
+		return nil
+	})
+	if err != nil {
+		return report, fmt.Errorf("backend: gc: mark: %w", err)
+	}
+
+	// Sweep. Pins are consulted per object at this point — after the
+	// listing — so a pin taken while we listed still protects.
+	for _, v := range victims {
+		if opts.Pins != nil && opts.Pins.Pinned()[v.d] {
+			report.KeptPinned++
+			logf("backend: gc: keep %s (pinned)", v.d)
+			continue
+		}
+		if !opts.DryRun {
+			if err := b.Delete(ctx, v.d); err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					// Deleted under us (a racing GC, an operator); count it as
+					// someone else's reclaim, not ours.
+					continue
+				}
+				return report, fmt.Errorf("backend: gc: sweep %s: %w", v.d, err)
+			}
+			logf("backend: gc: reclaimed %s (%d bytes)", v.d, v.size)
+		} else {
+			logf("backend: gc: would reclaim %s (%d bytes)", v.d, v.size)
+		}
+		report.Reclaimed++
+		report.ReclaimedBytes += v.size
+		report.Candidates = append(report.Candidates, v.d)
+	}
+	sort.Slice(report.Candidates, func(i, j int) bool {
+		return report.Candidates[i].Hex() < report.Candidates[j].Hex()
+	})
+	return report, nil
+}

@@ -1,0 +1,314 @@
+package backend_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+
+	"mlcache/internal/cache"
+	"mlcache/internal/cpu"
+	"mlcache/internal/mainmem"
+	"mlcache/internal/memsys"
+	"mlcache/internal/store"
+	"mlcache/internal/store/backend"
+	"mlcache/internal/store/backend/fakes3"
+	"mlcache/internal/sweep"
+	"mlcache/internal/trace"
+)
+
+// newTiered composes an empty local tier over a fake-S3 remote.
+func newTiered(t *testing.T) (*backend.Tiered, *fakes3.Server) {
+	t.Helper()
+	s3, fake := newFakeS3(t)
+	local, err := store.OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return backend.NewTiered(local, s3), fake
+}
+
+func TestTieredReadThroughPromotion(t *testing.T) {
+	tiered, fake := newTiered(t)
+	data := testBlob(32<<10, 20)
+	d := seedObject(fake, data)
+
+	// Cold: the resolve promotes from the remote into the local tier.
+	path, err := tiered.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, data) {
+		t.Fatal("promoted bytes differ from remote")
+	}
+	getsAfterFill := fake.Stats().Gets
+
+	// Warm: local tier serves; the remote stays quiet.
+	if _, err := tiered.Resolve(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, tiered, d); !bytes.Equal(got, data) {
+		t.Fatal("Get after promotion differs")
+	}
+	if fake.Stats().Gets != getsAfterFill {
+		t.Fatalf("warm resolves hit the remote (%d GETs, had %d)", fake.Stats().Gets, getsAfterFill)
+	}
+	st := tiered.Stats()
+	if st.Promotions != 1 || st.LocalMisses != 1 || st.LocalHits < 2 {
+		t.Fatalf("tier stats %+v", st)
+	}
+	if st.PromotedBytes != int64(len(data)) {
+		t.Fatalf("promoted bytes %d, want %d", st.PromotedBytes, len(data))
+	}
+}
+
+func TestTieredPromotionSurvivesTornBodies(t *testing.T) {
+	tiered, fake := newTiered(t)
+	data := testBlob(64<<10, 21)
+	d := seedObject(fake, data)
+	// Two torn bodies, then a 500, before a clean read: the verified
+	// promotion must discard each bad stream and retry.
+	fake.SetFaults(fakes3.Faults{TornGets: 2, FailGets: 1})
+	path, err := tiered.Resolve(d)
+	if err != nil {
+		t.Fatalf("promotion under faults: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, data) {
+		t.Fatal("promoted bytes differ")
+	}
+	st := tiered.Stats()
+	if st.Promotions != 1 || st.FillRetries < 2 {
+		t.Fatalf("tier stats %+v, want 1 promotion after >=2 discarded attempts", st)
+	}
+}
+
+func TestTieredPromotionMissingObject(t *testing.T) {
+	tiered, _ := newTiered(t)
+	d := store.DigestBytes([]byte("never uploaded"))
+	if _, err := tiered.Resolve(d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resolve of absent object: %v, want ErrNotExist", err)
+	}
+}
+
+func TestTieredWriteBackDurability(t *testing.T) {
+	tiered, fake := newTiered(t)
+	ctx := context.Background()
+	data := testBlob(16<<10, 22)
+	d := store.DigestBytes(data)
+
+	if _, err := tiered.Put(ctx, d, bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	// Durability acknowledgement means the object is already remote.
+	if _, ok := fakeHasDigest(fake, d); !ok {
+		t.Fatal("Put returned before the remote held the object")
+	}
+	if st := tiered.Stats(); st.RemotePuts != 1 || st.UploadedBytes != int64(len(data)) {
+		t.Fatalf("tier stats %+v", st)
+	}
+
+	// A remote outage longer than the retry budget fails the Put even
+	// though the local commit succeeded — and says so.
+	data2 := testBlob(8<<10, 23)
+	d2 := store.DigestBytes(data2)
+	fake.SetFaults(fakes3.Faults{FailPuts: 100})
+	_, err := tiered.Put(ctx, d2, bytes.NewReader(data2), int64(len(data2)))
+	if err == nil {
+		t.Fatal("Put claimed durability during a remote outage")
+	}
+	if want := "not durable"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not say %q", err, want)
+	}
+	// The local copy is retained as a warm object (resolvable), so the
+	// caller can re-publish without re-uploading the bytes from source.
+	if _, err := tiered.Local.Resolve(d2); err != nil {
+		t.Fatalf("failed write-back lost the local copy: %v", err)
+	}
+}
+
+// fakeHasDigest reports whether the fake bucket holds d's object key.
+func fakeHasDigest(fake *fakes3.Server, d store.Digest) (string, bool) {
+	key := backend.ObjectKey("mlca/", d)
+	for _, k := range fake.Keys() {
+		if k == key {
+			return k, true
+		}
+	}
+	return key, false
+}
+
+func TestTieredCoalescesConcurrentFills(t *testing.T) {
+	tiered, fake := newTiered(t)
+	data := testBlob(256<<10, 24)
+	d := seedObject(fake, data)
+	// Throttle the remote so the fill window is wide enough that all
+	// workers genuinely overlap.
+	fake.SetFaults(fakes3.Faults{SlowReadBPS: 1 << 20})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tiered.Resolve(d)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if gets := fake.Stats().Gets; gets != 1 {
+		t.Fatalf("%d workers caused %d remote GETs, want 1 coalesced fill", workers, gets)
+	}
+}
+
+func TestTieredDeleteBothTiers(t *testing.T) {
+	tiered, fake := newTiered(t)
+	ctx := context.Background()
+	data := testBlob(4096, 25)
+	d := store.DigestBytes(data)
+	if _, err := tiered.Put(ctx, d, bytes.NewReader(data), int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered.Delete(ctx, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiered.Local.Resolve(d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("local copy survived delete")
+	}
+	if _, ok := fakeHasDigest(fake, d); ok {
+		t.Fatal("remote copy survived delete")
+	}
+	if err := tiered.Delete(ctx, d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("double delete: %v, want ErrNotExist", err)
+	}
+}
+
+func TestTieredListUnion(t *testing.T) {
+	tiered, fake := newTiered(t)
+	ctx := context.Background()
+	// One object in both tiers, one remote-only, one local-only.
+	both := testBlob(100, 26)
+	dBoth := store.DigestBytes(both)
+	if _, err := tiered.Put(ctx, dBoth, bytes.NewReader(both), int64(len(both))); err != nil {
+		t.Fatal(err)
+	}
+	dRemote := seedObject(fake, testBlob(200, 27))
+	localOnly := testBlob(300, 28)
+	dLocal := store.DigestBytes(localOnly)
+	if _, err := tiered.Local.Put(bytes.NewReader(localOnly), dLocal); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[store.Digest]int{}
+	if err := tiered.List(ctx, func(info backend.ObjectInfo) error {
+		got[info.Digest]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []store.Digest{dBoth, dRemote, dLocal} {
+		if got[d] != 1 {
+			t.Fatalf("object %s listed %d times, want exactly once (all: %v)", d, got[d], got)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("listed %d objects, want 3", len(got))
+	}
+}
+
+// TestTieredSweepTableByteIdentical is the acceptance test for the
+// tiered read path: a sweep whose trace artifact arrives through a
+// cold tiered backend over fake S3 must render exactly the same table
+// bytes as the same sweep reading the artifact from the local
+// filesystem — the backend seam changes where bytes live, never what
+// the simulation sees.
+func TestTieredSweepTableByteIdentical(t *testing.T) {
+	path, d := writeArtifact(t, t.TempDir(), 30000, 42)
+
+	configure := func(pt sweep.Point) memsys.Config {
+		l1 := func(name string) memsys.LevelConfig {
+			return memsys.LevelConfig{
+				Cache: cache.Config{
+					Name: name, SizeBytes: 2 * 1024, BlockBytes: 16, Assoc: 1,
+					Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+				},
+				CycleNS: 10,
+			}
+		}
+		return memsys.Config{
+			CPUCycleNS: 10,
+			SplitL1:    true,
+			L1I:        l1("L1I"),
+			L1D:        l1("L1D"),
+			Down: []memsys.LevelConfig{{
+				Cache: cache.Config{
+					Name: "L2", SizeBytes: pt.L2SizeBytes, BlockBytes: 32, Assoc: pt.L2Assoc,
+					Repl: cache.LRU, Write: cache.WriteBack, Alloc: cache.WriteAllocate,
+				},
+				CycleNS: pt.L2CycleNS,
+			}},
+			Memory: mainmem.Base(),
+		}
+	}
+	grid := sweep.Grid{
+		SizesBytes: []int64{16 * 1024, 64 * 1024},
+		CyclesNS:   []int64{10, 20},
+	}
+
+	runTable := func(artifactPath string) []byte {
+		art, err := trace.OpenArtifact(artifactPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer art.Close()
+		r := sweep.Runner{
+			Configure:   configure,
+			Arena:       art.Arena(),
+			CPU:         cpu.Config{CycleNS: 10, WarmupRefs: 5000},
+			Parallelism: 2,
+		}
+		results, err := r.RunContext(context.Background(), grid.Points(), sweep.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var table bytes.Buffer
+		if err := sweep.WriteTable(&table, results, 10, false); err != nil {
+			t.Fatal(err)
+		}
+		return table.Bytes()
+	}
+
+	// Reference: the artifact read straight from the local filesystem.
+	want := runTable(path)
+
+	// Tiered cold path: the only copy starts in the fake bucket; the
+	// local tier is empty and fills by verified promotion.
+	tiered, fake := newTiered(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake.PutObject(backend.ObjectKey("mlca/", d), raw)
+	// Fault the first read for good measure: equivalence must hold even
+	// when the promotion had to retry.
+	fake.SetFaults(fakes3.Faults{TornGets: 1})
+	promoted, err := tiered.Resolve(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runTable(promoted)
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("tables differ:\n--- tiered cold path ---\n%s--- local filesystem ---\n%s",
+			got, want)
+	}
+}

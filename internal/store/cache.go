@@ -30,7 +30,7 @@ type Cache struct {
 	used    int64
 	seq     int64 // LRU clock: bumped on every touch
 
-	hits, fetches, evictions int64
+	hits, fetches, evictions, swept int64
 
 	// Logf receives cache events; nil means silent. Set before first use.
 	Logf func(format string, args ...any)
@@ -59,14 +59,20 @@ type CacheStats struct {
 	Hits      int64
 	Fetches   int64
 	Evictions int64
-	Bytes     int64
-	Entries   int
+	// Swept counts corrupt on-disk objects discarded at warm start
+	// instead of adopted.
+	Swept   int64
+	Bytes   int64
+	Entries int
 }
 
 // NewCache opens (creating if needed) a cache directory bounded to
 // budgetBytes of committed artifacts (<= 0 means 4 GiB). Committed
-// objects from previous processes are adopted warm; partials from a
-// crashed fetch are swept.
+// objects from previous processes are re-verified against their digest
+// name and adopted warm; partials from a crashed fetch, and any file
+// whose bytes no longer hash to its name (bit rot, a torn write the
+// rename raced), are swept instead of adopted — a corrupt object must
+// cost a refetch, never a poisoned simulation.
 func NewCache(dir string, budgetBytes int64) (*Cache, error) {
 	if budgetBytes <= 0 {
 		budgetBytes = 4 << 30
@@ -98,13 +104,19 @@ func NewCache(dir string, budgetBytes int64) (*Cache, error) {
 		if err != nil {
 			continue
 		}
-		info, err := e.Info()
-		if err != nil {
+		path := filepath.Join(dir, name)
+		got, size, err := DigestFile(path)
+		if err != nil || got != d {
+			// The content is the name; a file that fails its own digest is
+			// not an object, whatever it is called.
+			os.Remove(path)
+			c.swept++
+			c.logf("store: cache: swept corrupt object %s (hashes to %s)", d, got)
 			continue
 		}
 		c.seq++
-		c.entries[d] = &cacheEntry{digest: d, path: filepath.Join(dir, name), size: info.Size(), used: c.seq}
-		c.used += info.Size()
+		c.entries[d] = &cacheEntry{digest: d, path: path, size: size, used: c.seq}
+		c.used += size
 	}
 	return c, nil
 }
@@ -140,12 +152,12 @@ func (c *Cache) touchLocked(e *cacheEntry) {
 }
 
 // Fetch returns a committed local path for artifact d, downloading it
-// via src on a miss. wantCRC, when nonzero, is the artifact header's
-// CRC-32C fast pre-check: a resident file whose header disagrees is
-// discarded and refetched instead of trusted (32-byte read vs a full
-// re-hash). Concurrent fetches of one digest coalesce into a single
-// download.
-func (c *Cache) Fetch(ctx context.Context, src *Client, d Digest, wantCRC uint32) (string, error) {
+// via src — an HTTP Client or a pluggable backend Fetcher — on a miss.
+// wantCRC, when nonzero, is the artifact header's CRC-32C fast
+// pre-check: a resident file whose header disagrees is discarded and
+// refetched instead of trusted (32-byte read vs a full re-hash).
+// Concurrent fetches of one digest coalesce into a single download.
+func (c *Cache) Fetch(ctx context.Context, src Fetcher, d Digest, wantCRC uint32) (string, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt > 4 {
 			return "", fmt.Errorf("store: cache: %s unstable after %d attempts", d, attempt)
@@ -194,7 +206,7 @@ func (c *Cache) Fetch(ctx context.Context, src *Client, d Digest, wantCRC uint32
 }
 
 // download performs the staged fetch-verify-commit for one digest.
-func (c *Cache) download(ctx context.Context, src *Client, d Digest) (string, error) {
+func (c *Cache) download(ctx context.Context, src Fetcher, d Digest) (string, error) {
 	partial := c.objectPath(d) + ".partial"
 	size, err := src.Fetch(ctx, d, partial)
 	if err != nil {
@@ -223,7 +235,7 @@ func (c *Cache) download(ctx context.Context, src *Client, d Digest) (string, er
 // cursors are done, after which the cache is free to evict (close +
 // delete) it under budget pressure. Repeated Opens of one digest share a
 // single mmap.
-func (c *Cache) Open(ctx context.Context, src *Client, d Digest, wantCRC uint32) (*trace.Artifact, error) {
+func (c *Cache) Open(ctx context.Context, src Fetcher, d Digest, wantCRC uint32) (*trace.Artifact, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt > 4 {
 			return nil, fmt.Errorf("store: cache: %s unstable after %d attempts", d, attempt)
@@ -331,6 +343,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Fetches:   c.fetches,
 		Evictions: c.evictions,
+		Swept:     c.swept,
 		Bytes:     c.used,
 		Entries:   len(c.entries),
 	}

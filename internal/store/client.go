@@ -12,6 +12,48 @@ import (
 	"time"
 )
 
+// Fetcher downloads artifact d into the file at dst, verifying the
+// digest of the complete file before returning; a failed fetch leaves no
+// bytes behind. Client implements it against an HTTP artifact endpoint,
+// and backend.Fetcher implements it against a pluggable store backend —
+// the worker cache accepts either.
+type Fetcher interface {
+	Fetch(ctx context.Context, d Digest, dst string) (int64, error)
+}
+
+// StatusError is an HTTP failure from an artifact endpoint, carrying the
+// operation, the digest it concerned, and the status code uniformly, so
+// callers can log or branch on any of them without string matching.
+type StatusError struct {
+	// Op is the transfer direction: "fetch" or "push".
+	Op string
+	// Digest names the object the request concerned.
+	Digest Digest
+	// StatusCode is the HTTP status the endpoint answered.
+	StatusCode int
+	// Status is the full status line, Msg the (truncated) response body.
+	Status, Msg string
+}
+
+func (e *StatusError) Error() string {
+	s := fmt.Sprintf("store: %s %s: %s", e.Op, e.Digest, e.Status)
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+// statusError builds the uniform error for a non-success response,
+// consuming up to 1 KiB of the body as the message.
+func statusError(op string, d Digest, resp *http.Response) *StatusError {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return &StatusError{
+		Op: op, Digest: d,
+		StatusCode: resp.StatusCode, Status: resp.Status,
+		Msg: strings.TrimSpace(string(msg)),
+	}
+}
+
 // Client fetches and publishes artifacts against a store endpoint (a
 // coordinator or an mlcserve origin). Transfers retry transport faults,
 // 5xx, and torn bodies with capped exponential backoff, and a retried
@@ -145,13 +187,11 @@ func (c *Client) fetchOnce(ctx context.Context, d Digest, f *os.File) (int64, er
 		if err := f.Truncate(0); err != nil {
 			return 0, err
 		}
-		return 0, fmt.Errorf("store: %s: range %d- not satisfiable; restarting", d, offset)
+		return 0, fmt.Errorf("%w; range %d- restarting", statusError("fetch", d, resp), offset)
 	case http.StatusNotFound, http.StatusUnauthorized, http.StatusForbidden:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return 0, &terminalFetchError{fmt.Errorf("store: fetch %s: %s: %s",
-			d, resp.Status, strings.TrimSpace(string(msg)))}
+		return 0, &terminalFetchError{statusError("fetch", d, resp)}
 	default:
-		return 0, fmt.Errorf("store: fetch %s: %s", d, resp.Status)
+		return 0, statusError("fetch", d, resp)
 	}
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
 		return 0, err
@@ -244,8 +284,7 @@ func (c *Client) Push(ctx context.Context, d Digest, path string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		err := fmt.Errorf("store: push %s: %s: %s", d, resp.Status, strings.TrimSpace(string(msg)))
+		err := statusError("push", d, resp)
 		if resp.StatusCode == http.StatusUnprocessableEntity {
 			return fmt.Errorf("%w (%w)", err, ErrDigestMismatch)
 		}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrDigestMismatch marks bytes that do not hash to the digest they were
@@ -42,7 +43,45 @@ func (s Static) Resolve(d Digest) (string, error) {
 // object and a crash leaves at worst an orphaned *.tmp (swept on open).
 type FileStore struct {
 	dir string
-	mu  sync.Mutex // serializes Put staging for the same digest
+
+	// Put serializes per digest, not globally: committing two unrelated
+	// objects proceeds in parallel, while two racing uploads of the same
+	// object stage once. locks holds one entry per digest with a Put in
+	// flight; entries are refcounted and removed when the last holder
+	// releases, so the map stays empty at rest.
+	mu    sync.Mutex // guards locks
+	locks map[Digest]*digestLock
+}
+
+// digestLock is the per-digest Put serializer.
+type digestLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockDigest acquires the Put lock for d and returns its release func.
+func (s *FileStore) lockDigest(d Digest) func() {
+	s.mu.Lock()
+	l := s.locks[d]
+	if l == nil {
+		l = &digestLock{}
+		if s.locks == nil {
+			s.locks = map[Digest]*digestLock{}
+		}
+		s.locks[d] = l
+	}
+	l.refs++
+	s.mu.Unlock()
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		s.mu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(s.locks, d)
+		}
+		s.mu.Unlock()
+	}
 }
 
 // objectSuffix keeps stored objects openable by the existing artifact
@@ -92,8 +131,11 @@ func (s *FileStore) Put(r io.Reader, d Digest) (int64, error) {
 	if _, err := os.Stat(s.objectPath(d)); err == nil {
 		return io.Copy(io.Discard, r)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.lockDigest(d)()
+	if _, err := os.Stat(s.objectPath(d)); err == nil {
+		// A racing Put of the same digest committed while we waited.
+		return io.Copy(io.Discard, r)
+	}
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
@@ -141,6 +183,26 @@ func (s *FileStore) Add(path string) (Digest, error) {
 		return Digest{}, err
 	}
 	return d, nil
+}
+
+// Delete removes object d. Deleting an absent object is an error
+// (wrapped os.ErrNotExist) so garbage collectors can tell "reclaimed"
+// from "already gone".
+func (s *FileStore) Delete(d Digest) error {
+	if err := os.Remove(s.objectPath(d)); err != nil {
+		return fmt.Errorf("store: delete %s: %w", d, err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// Stat reports a committed object's size and modification time.
+func (s *FileStore) Stat(d Digest) (size int64, modTime time.Time, err error) {
+	st, err := os.Stat(s.objectPath(d))
+	if err != nil {
+		return 0, time.Time{}, fmt.Errorf("store: %s: %w", d, err)
+	}
+	return st.Size(), st.ModTime(), nil
 }
 
 // List enumerates the digests of every committed object.

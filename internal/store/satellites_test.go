@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// blockingReader hands out its payload only after release is closed,
+// proving that a Put consuming it holds no lock another digest needs.
+type blockingReader struct {
+	payload []byte
+	release <-chan struct{}
+	read    bool
+}
+
+func (r *blockingReader) Read(p []byte) (int, error) {
+	if !r.read {
+		<-r.release
+		r.read = true
+		n := copy(p, r.payload)
+		return n, nil
+	}
+	return 0, io.EOF
+}
+
+// TestFileStorePutConcurrentDistinctDigests commits two distinct digests
+// at once: digest A's upload stalls mid-body until digest B's commit
+// finishes. Under the old store-wide Put mutex this deadlocks (A holds
+// the lock while blocked; B can never run to release A); with per-digest
+// locks both commit.
+func TestFileStorePutConcurrentDistinctDigests(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aBytes := []byte("object A: stalls until B lands")
+	bBytes := []byte("object B: must not wait for A")
+	dA, dB := DigestBytes(aBytes), DigestBytes(bBytes)
+
+	bDone := make(chan struct{})
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := s.Put(&blockingReader{payload: aBytes, release: bDone}, dA)
+		aDone <- err
+	}()
+	// Wait until A's Put is actually staging (holding its digest lock).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, _ := os.ReadDir(s.Dir())
+		staging := false
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				staging = true
+			}
+		}
+		if staging {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Put A never started staging")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Put(bytes.NewReader(bBytes), dB)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Put B: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Put B deadlocked behind Put A's in-flight upload: Put locks are not per-digest")
+	}
+	close(bDone)
+	if err := <-aDone; err != nil {
+		t.Fatalf("Put A: %v", err)
+	}
+	for _, d := range []Digest{dA, dB} {
+		p, err := s.Resolve(d)
+		if err != nil {
+			t.Fatalf("resolve %s: %v", d, err)
+		}
+		d2, _, err := DigestFile(p)
+		if err != nil || d2 != d {
+			t.Fatalf("committed object %s fails verification: %v", d, err)
+		}
+	}
+}
+
+// TestFileStorePutSameDigestSerializes pins the complementary property:
+// two racing uploads of one digest commit exactly one object and both
+// return cleanly.
+func TestFileStorePutSameDigestSerializes(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the one object")
+	d := DigestBytes(payload)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := s.Put(bytes.NewReader(payload), d)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0] != d {
+		t.Fatalf("want exactly one committed object, got %v", list)
+	}
+}
+
+func TestFileStoreDeleteAndStat(t *testing.T) {
+	s, err := OpenFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("to be reclaimed")
+	d := DigestBytes(payload)
+	if _, err := s.Put(bytes.NewReader(payload), d); err != nil {
+		t.Fatal(err)
+	}
+	size, _, err := s.Stat(d)
+	if err != nil || size != int64(len(payload)) {
+		t.Fatalf("Stat: %d, %v", size, err)
+	}
+	if err := s.Delete(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve(d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("deleted object still resolves: %v", err)
+	}
+	if err := s.Delete(d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("double delete: want ErrNotExist, got %v", err)
+	}
+}
+
+// TestClientStatusErrors pins the uniform error shape: every non-success
+// HTTP response from fetch and push surfaces a *StatusError carrying the
+// digest and status code, and the rendered message names both.
+func TestClientStatusErrors(t *testing.T) {
+	d := DigestBytes([]byte("the object"))
+	cases := []struct {
+		name     string
+		code     int
+		op       string // "fetch" or "push"
+		terminal bool   // no retries expected
+	}{
+		{"fetch 404", http.StatusNotFound, "fetch", true},
+		{"fetch 401", http.StatusUnauthorized, "fetch", true},
+		{"fetch 403", http.StatusForbidden, "fetch", true},
+		{"fetch 500", http.StatusInternalServerError, "fetch", false},
+		{"fetch 503", http.StatusServiceUnavailable, "fetch", false},
+		{"push 500", http.StatusInternalServerError, "push", false},
+		{"push 403", http.StatusForbidden, "push", false},
+		{"push 400", http.StatusBadRequest, "push", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var hits int
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				hits++
+				http.Error(w, "server says no", tc.code)
+			}))
+			defer srv.Close()
+			cl := &Client{Base: srv.URL, Retries: 1}
+			var err error
+			if tc.op == "fetch" {
+				_, err = cl.Fetch(context.Background(), d, filepath.Join(t.TempDir(), "dst"))
+			} else {
+				src := filepath.Join(t.TempDir(), "src")
+				if werr := os.WriteFile(src, []byte("the object"), 0o644); werr != nil {
+					t.Fatal(werr)
+				}
+				err = cl.Push(context.Background(), d, src)
+			}
+			if err == nil {
+				t.Fatalf("%s against %d succeeded", tc.op, tc.code)
+			}
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v (%T) does not wrap *StatusError", err, err)
+			}
+			if se.StatusCode != tc.code || se.Digest != d || se.Op != tc.op {
+				t.Fatalf("StatusError %+v, want op=%s code=%d digest=%s", se, tc.op, tc.code, d)
+			}
+			for _, want := range []string{d.String(), fmt.Sprint(tc.code)} {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not mention %q", err, want)
+				}
+			}
+			if tc.terminal && hits != 1 {
+				t.Fatalf("terminal status %d was retried %d times", tc.code, hits)
+			}
+		})
+	}
+}
+
+// TestCacheWarmStartSweepsCorruptObject is the satellite acceptance test:
+// a cache directory holding a bit-flipped object must sweep it at warm
+// start instead of adopting it, and the next Fetch must self-heal by
+// refetching the true bytes.
+func TestCacheWarmStartSweepsCorruptObject(t *testing.T) {
+	origin := t.TempDir()
+	path, d, crc := writeTestArtifact(t, origin, 400, 77)
+	srv, gets := storeServer(t, Static{d: path})
+	cl := &Client{Base: srv.URL}
+
+	dir := t.TempDir()
+	c, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Fetch(context.Background(), cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit deep in the record body — past the header, so the
+	// 32-byte CRC pre-check alone would never notice.
+	buf, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-3] ^= 0x01
+	if err := os.WriteFile(p, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Path(d); ok {
+		t.Fatal("warm start adopted a corrupt object")
+	}
+	if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt object not swept from disk")
+	}
+	if st := c2.Stats(); st.Swept != 1 {
+		t.Fatalf("stats %+v, want Swept=1", st)
+	}
+
+	// Self-heal: the next Fetch downloads the true bytes again.
+	before := gets.Load()
+	p2, err := c2.Fetch(context.Background(), cl, d, crc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gets.Load() != before+1 {
+		t.Fatalf("self-heal did not refetch (%d GETs)", gets.Load())
+	}
+	want, _ := os.ReadFile(path)
+	got, _ := os.ReadFile(p2)
+	if !bytes.Equal(got, want) {
+		t.Fatal("refetched bytes differ from origin")
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -22,14 +23,22 @@ const PathArtifacts = "/artifacts/"
 // cached file without re-hashing it.
 const CRCHeader = "X-Artifact-Crc32c"
 
+// BlobSink accepts verified object uploads: Put streams r in as object
+// d, verifying the hash before commit and returning the bytes consumed.
+// FileStore implements it directly; tiered backends implement it with a
+// local commit plus a durably acknowledged remote upload.
+type BlobSink interface {
+	Put(r io.Reader, d Digest) (int64, error)
+}
+
 // Handler serves the artifact transfer endpoints. Source resolves
 // digests for download; Uploads, when non-nil, additionally accepts PUT
-// publishes into a file store. Range requests, If-Range, and HEAD come
+// publishes into a store. Range requests, If-Range, and HEAD come
 // free from http.ServeContent, which is what makes worker-side resume a
 // header rather than a protocol.
 type Handler struct {
 	Source  Resolver
-	Uploads *FileStore
+	Uploads BlobSink
 	// Logf receives transfer events; nil means silent.
 	Logf func(format string, args ...any)
 }
